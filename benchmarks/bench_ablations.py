@@ -1,0 +1,93 @@
+"""Ablations of the checker's design choices (DESIGN.md §6 extensions)."""
+
+from conftest import BENCH_WINDOW, print_table
+
+from repro.experiments.ablations import (
+    dfs_sensitivity,
+    hard_error_failover,
+    rvp_ablation,
+    slack_sweep,
+    tmr_comparison,
+)
+
+
+def test_ablation_rvp(benchmark):
+    result = benchmark.pedantic(
+        rvp_ablation, kwargs={"window": BENCH_WINDOW}, rounds=1, iterations=1
+    )
+    print_table(
+        "Ablation: register value prediction (mcf)",
+        ["configuration", "checker mean f", "leading IPC"],
+        [
+            ["with RVP", round(result["with_rvp_mean_frequency"], 2),
+             round(result["with_rvp_leading_ipc"], 2)],
+            ["without RVP", round(result["without_rvp_mean_frequency"], 2),
+             round(result["without_rvp_leading_ipc"], 2)],
+        ],
+    )
+    # RVP is what lets the checker run slow (Section 2.1).
+    assert result["without_rvp_mean_frequency"] > result["with_rvp_mean_frequency"]
+
+
+def test_ablation_slack(benchmark):
+    rows = benchmark.pedantic(
+        slack_sweep, kwargs={"window": BENCH_WINDOW}, rounds=1, iterations=1
+    )
+    print_table(
+        "Ablation: slack / queue sizing (gzip)",
+        ["slack", "leading IPC", "backpressure", "checker mean f"],
+        [
+            [r["slack"], round(r["leading_ipc"], 3), r["backpressure"],
+             round(r["mean_frequency"], 2)]
+            for r in rows
+        ],
+    )
+    assert rows[0]["backpressure"] >= rows[-1]["backpressure"]
+
+
+def test_ablation_dfs_interval(benchmark):
+    rows = benchmark.pedantic(
+        dfs_sensitivity, kwargs={"window": BENCH_WINDOW}, rounds=1, iterations=1
+    )
+    print_table(
+        "Ablation: DFS interval (gzip)",
+        ["interval (cycles)", "checker mean f", "leading IPC", "backpressure"],
+        [
+            [r["interval_cycles"], round(r["mean_frequency"], 2),
+             round(r["leading_ipc"], 3), r["backpressure"]]
+            for r in rows
+        ],
+    )
+    assert len(rows) == 3
+
+
+def test_ablation_hard_error_failover(benchmark):
+    result = benchmark.pedantic(
+        hard_error_failover, kwargs={"window": BENCH_WINDOW}, rounds=1, iterations=1
+    )
+    print_table(
+        "Hard-error failover: checker serving as leading core (gzip)",
+        ["core", "IPC"],
+        [
+            ["out-of-order leader", round(result["out_of_order_ipc"], 2)],
+            ["in-order failover", round(result["failover_in_order_ipc"], 2)],
+        ],
+    )
+    print(f"slowdown: {result['slowdown']:.0%} "
+          "(the paper's footnote-1 'performance penalty')")
+    assert result["slowdown"] > 0.1
+
+
+def test_ablation_tmr(benchmark):
+    result = benchmark.pedantic(tmr_comparison, rounds=1, iterations=1)
+    print_table(
+        "RMT + recovery vs TMR + voting (vpr, 1e-3 faults/instr)",
+        ["metric", "RMT", "TMR"],
+        [
+            ["errors handled", result["rmt_recoveries"], result["tmr_masked_errors"]],
+            ["architecturally safe", bool(result["rmt_safe"]), bool(result["tmr_safe"])],
+            ["redundant executions", result["rmt_execution_overhead"],
+             result["tmr_execution_overhead"]],
+        ],
+    )
+    assert result["rmt_safe"] and result["tmr_safe"]

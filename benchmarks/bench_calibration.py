@@ -1,0 +1,35 @@
+"""Workload calibration audit: synthetic profiles vs their SPEC2k targets."""
+
+from conftest import BENCH_WINDOW, print_table
+
+from repro.experiments.calibration import calibration_audit, suite_summary
+
+
+def test_workload_calibration(benchmark):
+    rows = benchmark.pedantic(
+        calibration_audit, kwargs={"window": BENCH_WINDOW}, rounds=1, iterations=1
+    )
+    print_table(
+        "Workload calibration (2d-a baseline)",
+        ["benchmark", "target IPC", "simulated", "error", "bpred miss",
+         "L1D miss", "L2 m/10k"],
+        [
+            [r.benchmark, r.target_ipc, round(r.simulated_ipc, 2),
+             f"{r.ipc_error:+.0%}", f"{r.branch_mispredict_rate:.1%}",
+             f"{r.l1d_miss_rate:.1%}", round(r.l2_misses_per_10k, 2)]
+            for r in rows
+        ],
+    )
+    summary = suite_summary(rows)
+    print("suite:", {k: round(v, 3) for k, v in summary.items()})
+
+    # Per-benchmark IPC within 40% of its calibration target...
+    for r in rows:
+        assert abs(r.ipc_error) < 0.40, r.benchmark
+    # ...and the *ordering* of benchmarks (what the figures depend on)
+    # strongly preserved.
+    assert summary["rank_correlation"] > 0.85
+    # Suite-level anchors near the paper's: ~1.4 misses/10k, single-digit
+    # misprediction rates.
+    assert 0.5 < summary["mean_l2_misses_per_10k"] < 3.0
+    assert summary["mean_mispredict_rate"] < 0.12

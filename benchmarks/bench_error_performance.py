@@ -1,0 +1,52 @@
+"""Performance under error pressure: the cost of recovery (extension).
+
+Connects the reliability analysis (Sections 3.5/4) to throughput: a
+checker pinned at peak frequency recovers constantly; the DFS-throttled
+checker's margins make recovery essentially free.
+"""
+
+from conftest import print_table
+
+from repro.experiments.error_performance import (
+    checker_operating_point_comparison,
+    error_performance,
+)
+
+
+def test_error_performance_curve(benchmark):
+    def run():
+        return [
+            error_performance(rate)
+            for rate in (0.0, 1e-9, 1e-7, 1e-5, 1e-3)
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Throughput vs detected-error rate (slack 200, IPC 1.5)",
+        ["errors/instr", "recoveries/M-instr", "throughput", "slowdown"],
+        [
+            [f"{r.error_rate_per_instruction:.0e}",
+             f"{r.recoveries_per_million:.2f}",
+             f"{r.throughput_fraction:.4f}", f"{r.slowdown:.2%}"]
+            for r in rows
+        ],
+    )
+    losses = [r.slowdown for r in rows]
+    assert losses == sorted(losses)
+    assert losses[0] == 0.0
+
+
+def test_operating_point_comparison(benchmark):
+    points = benchmark.pedantic(
+        checker_operating_point_comparison, rounds=1, iterations=1
+    )
+    print_table(
+        "Checker operating points",
+        ["operating point", "errors/instr", "slowdown"],
+        [
+            [name, f"{p.error_rate_per_instruction:.2e}", f"{p.slowdown:.3%}"]
+            for name, p in points.items()
+        ],
+    )
+    assert points["dfs-throttled"].slowdown < points["full-speed"].slowdown
+    assert points["dfs-throttled"].slowdown < 1e-6

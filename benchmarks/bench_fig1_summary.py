@@ -1,0 +1,48 @@
+"""Figure 1's summary box: the power-efficient RMT results of [19].
+
+The paper's baseline reliable processor inherits four quantitative claims
+from Madan & Balasubramonian's RMT work; the co-simulation and
+interconnect models reproduce them.
+"""
+
+from conftest import BENCH_SUBSET, BENCH_WINDOW, print_table
+
+from repro.common.config import ChipModel
+from repro.experiments.interconnect import section34_wire_analysis
+from repro.experiments.runner import simulate_leading, simulate_rmt
+from repro.power.wattch import CorePowerModel, rmt_power_overhead
+
+
+def test_fig1_summary(benchmark):
+    def run():
+        freqs, loss = [], []
+        for profile in BENCH_SUBSET:
+            rmt = simulate_rmt(profile, ChipModel.THREE_D_2A, window=BENCH_WINDOW)
+            solo = simulate_leading(profile, ChipModel.THREE_D_2A, window=BENCH_WINDOW)
+            freqs.append(rmt.mean_frequency_fraction)
+            loss.append(1.0 - rmt.leading.ipc / solo.ipc)
+        mean_freq = sum(freqs) / len(freqs)
+        mean_loss = sum(loss) / len(loss)
+        intercore_power = section34_wire_analysis()["3d-2a"].intercore_power_w
+        checker_power = CorePowerModel().checker_power(7.0, mean_freq)
+        chip_power = 35.0 + 6 * 0.426 + 5.4 + 1.78
+        overhead = rmt_power_overhead(chip_power, checker_power, intercore_power)
+        return mean_freq, mean_loss, intercore_power, overhead
+
+    mean_freq, mean_loss, intercore_power, overhead = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print_table(
+        "Figure 1 summary box ([19]'s results on our substrate)",
+        ["claim", "paper", "measured"],
+        [
+            ["trailing core frequency", "~45% of leading", f"{mean_freq:.0%}"],
+            ["leading-core performance loss", "none", f"{mean_loss:.1%}"],
+            ["inter-core interconnect power", "< 2 W", f"{intercore_power:.1f} W"],
+            ["RMT power overhead", "< 10%", f"{overhead:.1%}"],
+        ],
+    )
+    assert 0.35 <= mean_freq <= 0.70
+    assert mean_loss < 0.05
+    assert intercore_power < 3.0
+    assert overhead < 0.20

@@ -1,0 +1,61 @@
+"""Figure 4: peak temperature vs checker power for 2d-2a and 3d-2a."""
+
+from conftest import print_table
+
+from repro.experiments.thermal import fig4_thermal_sweep, thermal_variants
+
+
+def test_fig4_thermal_sweep(benchmark):
+    rows = benchmark.pedantic(fig4_thermal_sweep, rounds=1, iterations=1)
+    print_table(
+        "Figure 4: thermal overhead of the 3D checker",
+        ["checker (W)", "2d-2a (C)", "3d-2a (C)", "2d-a (C)",
+         "3d vs 2d-a", "3d vs 2d-2a"],
+        [
+            [r.checker_power_w, round(r.temp_2d_2a_c, 1), round(r.temp_3d_2a_c, 1),
+             round(r.temp_2d_a_c, 1), f"{r.delta_3d_vs_2da:+.1f}",
+             f"{r.delta_3d_vs_2d2a:+.1f}"]
+            for r in rows
+        ],
+    )
+    by_power = {r.checker_power_w: r for r in rows}
+    print("paper: 7W -> +4 C vs 2d-a (+4.5 vs 2d-2a); 15W -> +7 C vs 2d-a")
+
+    # Headline checks (generous tolerances: this is a different thermal
+    # substrate than the authors' HotSpot install).
+    assert abs(by_power[7].delta_3d_vs_2da - 4.0) < 2.0
+    assert abs(by_power[15].delta_3d_vs_2da - 7.0) < 2.5
+    # The 2d-2a chip is *cooler* than 2d-a at low checker power (lateral
+    # spreading + bigger heat sink).
+    assert by_power[7].temp_2d_2a_c < by_power[7].temp_2d_a_c
+    # Monotone in checker power.
+    deltas = [r.delta_3d_vs_2da for r in rows]
+    assert deltas == sorted(deltas)
+
+
+def test_fig4_variants(benchmark):
+    def run():
+        return {
+            "7W": thermal_variants(7.0),
+            "15W": thermal_variants(15.0),
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Section 3.2 design-space probes (delta vs standard 3d-2a, C)",
+        ["variant", "7W checker", "15W checker", "paper"],
+        [
+            ["inactive upper die", f"{result['7W']['inactive_top']:+.1f}",
+             f"{result['15W']['inactive_top']:+.1f}", "-2 / -1"],
+            ["checker at corner", f"{result['7W']['corner']:+.1f}",
+             f"{result['15W']['corner']:+.1f}", "about -1.5"],
+            ["double power density", f"{result['7W']['double_density']:+.1f}",
+             f"{result['15W']['double_density']:+.1f}", "+12 vs std @15W"],
+        ],
+    )
+    # Removing the upper-die cache cools the chip; less so at higher
+    # checker power (same ordering as the paper's -2 vs -1).
+    assert result["7W"]["inactive_top"] < 0
+    assert result["15W"]["inactive_top"] < 0
+    # Doubling the 15 W checker's density heats the chip substantially.
+    assert result["15W"]["double_density"] > 5.0

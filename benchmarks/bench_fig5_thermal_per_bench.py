@@ -1,0 +1,30 @@
+"""Figure 5: per-benchmark peak temperature for the five configurations."""
+
+from conftest import BENCH_WINDOW, print_table
+
+from repro.experiments.thermal import fig5_per_benchmark
+
+
+def test_fig5_thermal_per_benchmark(benchmark):
+    rows = benchmark.pedantic(
+        fig5_per_benchmark, kwargs={"window": BENCH_WINDOW}, rounds=1, iterations=1
+    )
+    print_table(
+        "Figure 5: per-benchmark peak temperature (C)",
+        ["benchmark", "2d_a", "2d_2a_7W", "3d_2a_7W", "2d_2a_15W", "3d_2a_15W"],
+        [
+            [r.benchmark, round(r.temp_2d_a, 1), round(r.temp_2d_2a_7w, 1),
+             round(r.temp_3d_2a_7w, 1), round(r.temp_2d_2a_15w, 1),
+             round(r.temp_3d_2a_15w, 1)]
+            for r in rows
+        ],
+    )
+    assert len(rows) == 19
+    for r in rows:
+        # 3D always hotter than the matching 2D chip; 15 W hotter than 7 W.
+        assert r.temp_3d_2a_7w > r.temp_2d_2a_7w
+        assert r.temp_3d_2a_15w >= r.temp_3d_2a_7w - 0.2
+        assert 55.0 < r.temp_2d_a < 100.0
+    # Busy benchmarks run hotter than memory-bound ones on the baseline.
+    by_name = {r.benchmark: r for r in rows}
+    assert by_name["mesa"].temp_2d_a > by_name["mcf"].temp_2d_a

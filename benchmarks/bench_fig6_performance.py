@@ -1,0 +1,63 @@
+"""Figure 6: per-benchmark IPC across the four chip models."""
+
+from conftest import BENCH_WINDOW, print_table
+
+from repro.common.config import ChipModel
+from repro.experiments.perf import average_ipc, fig6_performance, l2_statistics
+
+
+def test_fig6_performance(benchmark):
+    rows = benchmark.pedantic(
+        fig6_performance, kwargs={"window": BENCH_WINDOW}, rounds=1, iterations=1
+    )
+    print_table(
+        "Figure 6: IPC per benchmark (distributed-sets NUCA)",
+        ["benchmark", "2d-a", "2d-2a", "3d-2a", "3d-checker"],
+        [
+            [r.benchmark,
+             round(r[ChipModel.TWO_D_A], 2),
+             round(r[ChipModel.TWO_D_2A], 2),
+             round(r[ChipModel.THREE_D_2A], 2),
+             round(r[ChipModel.THREE_D_CHECKER], 2)]
+            for r in rows
+        ],
+    )
+    means = average_ipc(rows)
+    print("suite means:", {k: round(v, 3) for k, v in means.items()})
+    improvement = means["3d-2a"] / means["2d-2a"] - 1.0
+    checker_gap = abs(means["3d-checker"] / means["2d-a"] - 1.0)
+    print(
+        f"3d-2a vs 2d-2a: {improvement:+.1%} (paper: +5.5%); "
+        f"3d-checker vs 2d-a: {checker_gap:.1%} (paper: ~0%)"
+    )
+    assert len(rows) == 19
+    # Paper's orderings: the 2d-2a chip is slowest (22-cycle L2 hits); the
+    # 3D chip recovers most of the gap; the checker-only die matches 2d-a.
+    assert means["2d-2a"] < means["2d-a"]
+    assert means["3d-2a"] > means["2d-2a"]
+    assert 0.0 < improvement < 0.15
+    assert checker_gap < 0.05
+    # Per-benchmark shape: mcf/art at the bottom, mesa/eon at the top.
+    by_name = {r.benchmark: r[ChipModel.TWO_D_A] for r in rows}
+    assert by_name["mcf"] == min(by_name.values())
+    assert by_name["mesa"] > 1.8 and by_name["eon"] > 1.8
+
+
+def test_s33_l2_statistics(benchmark):
+    stats = benchmark.pedantic(
+        l2_statistics, kwargs={"window": BENCH_WINDOW}, rounds=1, iterations=1
+    )
+    print_table(
+        "Section 3.3 cache statistics",
+        ["metric", "ours", "paper"],
+        [
+            ["L2 misses/10k (6 MB)", round(stats["misses_per_10k_6mb"], 2), 1.43],
+            ["L2 misses/10k (15 MB)", round(stats["misses_per_10k_15mb"], 2), 1.25],
+            ["avg L2 hit latency (2d-a)", round(stats["avg_hit_latency_6mb"], 1), 18],
+            ["avg L2 hit latency (2d-2a)", round(stats["avg_hit_latency_15mb"], 1), 22],
+        ],
+    )
+    assert stats["misses_per_10k_15mb"] < stats["misses_per_10k_6mb"]
+    assert abs(stats["avg_hit_latency_6mb"] - 18.0) < 1.5
+    assert abs(stats["avg_hit_latency_15mb"] - 22.0) < 1.5
+    assert 0.5 < stats["misses_per_10k_6mb"] < 4.0

@@ -1,0 +1,33 @@
+"""Figure 7: residency histogram of the checker's DFS frequency levels."""
+
+from conftest import BENCH_WINDOW, print_table
+
+from repro.experiments.frequency import fig7_frequency_histogram
+
+
+def test_fig7_dfs_histogram(benchmark):
+    result = benchmark.pedantic(
+        fig7_frequency_histogram, kwargs={"window": BENCH_WINDOW},
+        rounds=1, iterations=1,
+    )
+    print_table(
+        "Figure 7: % of intervals at each normalized frequency",
+        ["normalized f", "% of intervals"],
+        [[f"{level:.1f}", f"{frac:.1%}"] for level, frac in result.fractions.items()],
+    )
+    print(
+        f"mode: {result.mode:.1f} (paper: 0.6);  "
+        f"mean: {result.mean:.2f} -> {result.mean_frequency_hz() / 1e9:.2f} GHz "
+        f"(paper: ~0.63 -> 1.26 GHz)"
+    )
+    print(f"leading-core commits stalled by the checker: {result.backpressure_rate:.2%}")
+
+    # Headline: the checker spends most of its time well below peak, with
+    # the aggregate distribution peaking near 0.6x.
+    assert 0.4 <= result.mode <= 0.7
+    assert 0.45 <= result.mean <= 0.75
+    # The distribution is unimodal-ish around the mode: the tails are small.
+    assert result.fractions.get(1.0, 0.0) < 0.15
+    assert result.fractions.get(0.1, 0.0) < 0.15
+    # Backpressure on the leader stays negligible (paper: no perf loss).
+    assert result.backpressure_rate < 0.10

@@ -1,0 +1,20 @@
+"""Figure 8: SRAM soft-error rate scaling across technology nodes."""
+
+from conftest import print_table
+
+from repro.experiments.technology import fig8_ser_scaling
+
+
+def test_fig8_ser_scaling(benchmark):
+    rows = benchmark.pedantic(fig8_ser_scaling, rounds=1, iterations=1)
+    print_table(
+        "Figure 8: SRAM SER vs node (relative to 180 nm)",
+        ["node (nm)", "per-bit SER", "whole-chip SER"],
+        [[r["feature_nm"], r["per_bit_relative"], r["chip_relative"]] for r in rows],
+    )
+    per_bit = [r["per_bit_relative"] for r in rows]
+    chip = [r["chip_relative"] for r in rows]
+    # The paper's two curves: per-bit declines with scaling, total rises.
+    assert per_bit == sorted(per_bit, reverse=True)
+    assert chip == sorted(chip)
+    assert chip[0] == 1.0

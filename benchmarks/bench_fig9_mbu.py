@@ -1,0 +1,25 @@
+"""Figure 9: multi-bit upset probability vs critical charge."""
+
+from conftest import print_table
+
+from repro.experiments.technology import fig9_mbu_curve
+
+
+def test_fig9_mbu(benchmark):
+    rows = benchmark.pedantic(fig9_mbu_curve, rounds=1, iterations=1)
+    print_table(
+        "Figure 9: MBU probability vs critical charge",
+        ["node (nm)", "Qcrit (fC)", "P(MBU | upset)"],
+        [
+            [r["feature_nm"], r["critical_charge_fc"], r["mbu_probability"]]
+            for r in rows
+        ],
+    )
+    probs = [r["mbu_probability"] for r in rows]
+    charges = [r["critical_charge_fc"] for r in rows]
+    # Lower critical charge -> higher MBU probability (newer nodes worse).
+    assert charges == sorted(charges, reverse=True)
+    assert probs == sorted(probs)
+    # A 90 nm checker sees ~2x fewer MBUs than a 65 nm one.
+    by_node = {r["feature_nm"]: r["mbu_probability"] for r in rows}
+    assert by_node[90] < 0.65 * by_node[65]

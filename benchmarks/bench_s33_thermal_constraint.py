@@ -1,0 +1,35 @@
+"""Section 3.3: performance under a constant thermal constraint."""
+
+from conftest import BENCH_SUBSET, BENCH_WINDOW, print_table
+
+from repro.experiments.thermal_constraint import constant_thermal_performance
+
+
+def test_s33_thermal_constraint(benchmark):
+    def run():
+        return [
+            constant_thermal_performance(
+                checker_power_w=p, window=BENCH_WINDOW, benchmarks=BENCH_SUBSET
+            )
+            for p in (7.0, 15.0)
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper = {7.0: (1.9, 0.041), 15.0: (1.8, 0.082)}
+    print_table(
+        "Section 3.3: constant thermal constraint",
+        ["checker (W)", "f (GHz)", "paper f", "perf loss", "paper loss"],
+        [
+            [r.checker_power_w, round(r.frequency_ghz, 2), paper[r.checker_power_w][0],
+             f"{r.performance_loss:.1%}", f"{paper[r.checker_power_w][1]:.1%}"]
+            for r in results
+        ],
+    )
+    seven, fifteen = results
+    # Paper: 1.9 GHz / 4.1% at 7 W, 1.8 GHz / 8.2% at 15 W.
+    assert 1.8 <= seven.frequency_ghz <= 1.98
+    assert fifteen.frequency_ghz <= seven.frequency_ghz
+    assert 0.0 < seven.performance_loss < 0.12
+    assert fifteen.performance_loss >= seven.performance_loss
+    # Loss is smaller than the frequency cut (memory latency unchanged).
+    assert seven.performance_loss < (1.0 - seven.frequency_fraction) + 0.02

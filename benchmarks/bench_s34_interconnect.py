@@ -1,0 +1,67 @@
+"""Section 3.4: interconnect evaluation (vias, wire length/area/power)."""
+
+from conftest import print_table
+
+from repro.experiments.interconnect import section34_wire_analysis, via_summary
+
+
+def test_s34_vias(benchmark):
+    summary = benchmark.pedantic(via_summary, rounds=1, iterations=1)
+    print_table(
+        "Section 3.4: die-to-die vias",
+        ["metric", "ours", "paper"],
+        [
+            ["via count", summary.num_vias, 1409],
+            ["per-via power (mW)", round(summary.per_via_power_mw, 4), 0.011],
+            ["total via power (mW)", round(summary.total_power_mw, 2), 15.49],
+            ["total via area (mm2)", round(summary.total_area_mm2, 3), 0.07],
+        ],
+    )
+    assert summary.num_vias == 1409
+    assert abs(summary.total_power_mw - 15.49) / 15.49 < 0.10
+    assert abs(summary.total_area_mm2 - 0.07) < 0.002
+
+
+def test_s34_wires(benchmark):
+    budgets = benchmark.pedantic(section34_wire_analysis, rounds=1, iterations=1)
+    paper = {
+        "2d-a": (0, 0.0, 2.36, 5.1),
+        "2d-2a": (7490, 1.57, 5.49, 15.5),
+        "3d-2a": (4279, 0.898, 4.61, 12.1),
+    }
+    print_table(
+        "Section 3.4: horizontal interconnect",
+        ["model", "inter-core (mm)", "paper", "ic metal (mm2)", "paper",
+         "L2 metal (mm2)", "paper", "wire power (W)", "paper"],
+        [
+            [name, round(b.intercore_length_mm), paper[name][0],
+             round(b.intercore_metal_area_mm2, 2), paper[name][1],
+             round(b.l2_metal_area_mm2, 2), paper[name][2],
+             round(b.total_power_w, 1), paper[name][3]]
+            for name, b in budgets.items()
+        ],
+    )
+    ic_saving = 1.0 - (
+        budgets["3d-2a"].intercore_metal_area_mm2
+        / budgets["2d-2a"].intercore_metal_area_mm2
+    )
+    power_saving = budgets["2d-2a"].total_power_w - budgets["3d-2a"].total_power_w
+    print(f"inter-core metal saving: {ic_saving:.0%} (paper: 42%)")
+    print(f"3D wire power saving vs 2d-2a: {power_saving:.1f} W (paper: 3.4 W)")
+    print(
+        "checker feed power in 3D: "
+        f"{budgets['3d-2a'].intercore_power_w:.1f} W (paper: 1.8 W)"
+    )
+
+    assert budgets["2d-a"].intercore_length_mm == 0.0
+    # 3D cuts inter-core wiring substantially (paper: 42% metal saving).
+    assert 0.2 < ic_saving < 0.6
+    # Wire power ordering and magnitudes track the paper.
+    assert (
+        budgets["2d-a"].total_power_w
+        < budgets["3d-2a"].total_power_w
+        < budgets["2d-2a"].total_power_w
+    )
+    assert abs(budgets["2d-a"].total_power_w - 5.1) < 1.0
+    assert abs(budgets["3d-2a"].total_power_w - 12.1) < 2.0
+    assert budgets["3d-2a"].intercore_power_w < 3.5

@@ -1,0 +1,62 @@
+"""Section 4: the heterogeneous (90 nm) checker die."""
+
+from conftest import BENCH_SUBSET, BENCH_WINDOW, print_table
+
+from repro.experiments.hetero import section4_heterogeneous
+
+
+def test_s4_heterogeneous(benchmark):
+    result = benchmark.pedantic(
+        section4_heterogeneous,
+        kwargs={"window": BENCH_WINDOW, "benchmarks": BENCH_SUBSET},
+        rounds=1, iterations=1,
+    )
+    rows = [
+        ["checker power (W)", f"{result.checker_power_65nm_w:.1f} -> {result.checker_power_90nm_w:.1f}",
+         "14.5 -> 23.7"],
+        ["upper-die cache (banks)", f"{result.upper_cache_banks_65nm} -> {result.upper_cache_banks_90nm}",
+         "9 -> 5"],
+        ["upper-die cache power (W)", f"{result.upper_cache_power_65nm_w:.1f} -> {result.upper_cache_power_90nm_w:.1f}",
+         "3.5 -> 1.2"],
+        ["checker-die power delta (W)", f"{result.checker_die_delta_w:+.1f}", "+6.9"],
+        ["90nm checker area (mm2)", f"{result.checker_area_90nm_mm2:.1f}", "~9.6 (ideal logic scaling)"],
+        ["peak temp: homo vs hetero (C)",
+         f"{result.peak_temp_homogeneous_c:.1f} -> {result.peak_temp_hetero_c:.1f}",
+         "drop of up to 4"],
+        ["checker block temp (C)",
+         f"{result.checker_temp_homogeneous_c:.1f} -> {result.checker_temp_hetero_c:.1f}", "-"],
+        ["90nm peak frequency", f"{result.peak_frequency_ratio * 2:.1f} GHz", "1.4 GHz"],
+        ["checker's mean required f", f"{result.mean_required_frequency_ghz:.2f} GHz", "1.26 GHz"],
+        ["leading-core slowdown", f"{result.leading_slowdown:.1%}", "~3%"],
+        ["bank access (cycles)",
+         f"{result.bank_access_cycles_65nm} -> {result.bank_access_cycles_90nm}", "+1 cycle"],
+        ["timing error rate (per instr)",
+         f"{result.timing_error_rate_65nm:.2e} -> {result.timing_error_rate_90nm:.2e}",
+         "non-trivial slack remains (tail risk sits at the 1.4 GHz cap)"],
+        ["uncorrectable SER ratio (90/65)", f"{result.soft_error_rate_ratio:.2f}", "< 1"],
+        ["closing trade: temp increase vs 2d-a",
+         f"{result.temp_increase_homo_c:+.1f} C (homo) vs {result.temp_increase_hetero_c:+.1f} C (hetero)",
+         "+7 C vs +3 C"],
+        ["closing trade: constrained perf loss",
+         f"{result.constraint_loss_homo:.1%} (homo) vs {result.constraint_loss_hetero:.1%} (hetero)",
+         "8% vs 4%"],
+    ]
+    print_table("Section 4: heterogeneous checker die", ["metric", "ours", "paper"], rows)
+
+    assert abs(result.checker_power_90nm_w - 23.7) < 1.5
+    assert result.upper_cache_banks_90nm == 5
+    assert 5.0 < result.checker_die_delta_w < 9.0
+    assert result.peak_frequency_ratio == 0.7
+    assert 1.0 < result.mean_required_frequency_ghz < 1.4
+    assert abs(result.leading_slowdown) < 0.08
+    assert result.bank_access_cycles_90nm == result.bank_access_cycles_65nm + 1
+    assert result.soft_error_rate_ratio < 1.0
+    # The hetero checker block runs no hotter than the homogeneous one
+    # despite dissipating ~60% more power (density reduction at work).
+    assert (
+        result.checker_temp_hetero_c
+        <= result.checker_temp_homogeneous_c + 0.5
+    )
+    # The Section 6 closing trade: the hetero die costs less, on both axes.
+    assert result.temp_increase_hetero_c <= result.temp_increase_homo_c + 0.5
+    assert result.constraint_loss_hetero <= result.constraint_loss_homo + 0.005

@@ -1,0 +1,33 @@
+"""Table 1: the simulated machine's parameters (config defaults)."""
+
+from conftest import print_table
+
+from repro.common.config import BranchPredictorConfig, LeadingCoreConfig
+
+
+def build_table():
+    core = LeadingCoreConfig()
+    bpred = BranchPredictorConfig()
+    return [
+        ["Fetch/dispatch/commit width", f"{core.fetch_width}/{core.dispatch_width}/{core.commit_width}", "4/4/4"],
+        ["Reorder buffer", core.rob_size, 80],
+        ["Issue queue (int/fp)", f"{core.int_issue_queue_size}/{core.fp_issue_queue_size}", "20/15"],
+        ["LSQ", core.lsq_size, 40],
+        ["Int ALUs/mult", f"{core.int_alus}/{core.int_mults}", "4/2"],
+        ["FP ALUs/mult", f"{core.fp_alus}/{core.fp_mults}", "1/1"],
+        ["L1 I-cache", f"{core.l1_icache.size_bytes // 1024}KB {core.l1_icache.ways}-way", "32KB 2-way"],
+        ["L1 D-cache", f"{core.l1_dcache.size_bytes // 1024}KB {core.l1_dcache.ways}-way {core.l1_dcache.hit_latency_cycles}-cyc", "32KB 2-way 2-cyc"],
+        ["Bimodal/L2 predictor entries", f"{bpred.bimodal_entries}/{bpred.level2_entries}", "16384/16384"],
+        ["History bits", bpred.history_bits, 12],
+        ["BTB", f"{bpred.btb_sets} sets {bpred.btb_ways}-way", "16384 sets 2-way"],
+        ["Mispredict penalty", bpred.mispredict_penalty_cycles, 12],
+        ["Frequency", f"{core.frequency_hz / 1e9:.0f} GHz", "2 GHz"],
+        ["Memory latency", core.memory_latency_cycles, 300],
+    ]
+
+
+def test_table1_config(benchmark):
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print_table("Table 1: simulation parameters", ["parameter", "ours", "paper"], rows)
+    for _name, ours, paper in rows:
+        assert str(ours).replace(" ", "") == str(paper).replace(" ", "") or ours == paper

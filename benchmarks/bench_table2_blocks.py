@@ -1,0 +1,39 @@
+"""Table 2: area and power of the major blocks."""
+
+from conftest import print_table
+
+from repro.floorplan.blocks import (
+    CHECKER_CORE_AREA_MM2,
+    L2_BANK_AREA_MM2,
+    L2_BANK_DYNAMIC_W_PER_ACCESS,
+    L2_BANK_STATIC_W,
+    LEADING_CORE_AREA_MM2,
+    LEADING_CORE_POWER_W,
+    ROUTER_AREA_MM2,
+    ROUTER_POWER_W,
+)
+from repro.cache.cacti import CactiModel
+
+
+def build_table():
+    bank = CactiModel().estimate_bank()
+    return [
+        ["Leading core area (mm2)", LEADING_CORE_AREA_MM2, 19.6],
+        ["Leading core avg power (W)", LEADING_CORE_POWER_W, 35.0],
+        ["In-order core area (mm2)", CHECKER_CORE_AREA_MM2, 5.0],
+        ["1MB L2 bank area (mm2)", round(bank.area_mm2, 2), 5.0],
+        ["1MB bank dynamic W/access", round(bank.dynamic_power_w_per_access, 3), 0.732],
+        ["1MB bank static W", round(bank.static_power_w, 3), 0.376],
+        ["Router area (mm2)", ROUTER_AREA_MM2, 0.22],
+        ["Router power (W)", ROUTER_POWER_W, 0.296],
+    ]
+
+
+def test_table2_blocks(benchmark):
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print_table("Table 2: block area and power", ["block", "ours", "paper"], rows)
+    for _name, ours, paper in rows:
+        assert abs(float(ours) - float(paper)) / float(paper) < 0.01
+    assert L2_BANK_AREA_MM2 == 5.0
+    assert L2_BANK_DYNAMIC_W_PER_ACCESS == 0.732
+    assert L2_BANK_STATIC_W == 0.376

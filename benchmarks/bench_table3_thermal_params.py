@@ -1,0 +1,31 @@
+"""Table 3: thermal model parameters."""
+
+from conftest import print_table
+
+from repro.common.config import ThermalConfig
+
+
+def build_table():
+    cfg = ThermalConfig()
+    return [
+        ["Bulk Si die1 (um)", cfg.bulk_si_thickness_die1_m * 1e6, 750],
+        ["Bulk Si die2 (um)", cfg.bulk_si_thickness_die2_m * 1e6, 20],
+        ["Active layer (um)", cfg.active_layer_thickness_m * 1e6, 1],
+        ["Cu metal layer (um)", cfg.metal_layer_thickness_m * 1e6, 12],
+        ["D2D via layer (um)", cfg.d2d_via_thickness_m * 1e6, 10],
+        ["Si resistivity (mK/W)", cfg.si_resistivity_mk_per_w, 0.01],
+        ["Cu resistivity (mK/W)", cfg.cu_resistivity_mk_per_w, 0.0833],
+        ["D2D resistivity (mK/W)", cfg.d2d_resistivity_mk_per_w, 0.0166],
+        ["Grid", f"{cfg.grid_rows}x{cfg.grid_cols}", "50x50"],
+        ["Ambient (C)", cfg.ambient_c, 47],
+    ]
+
+
+def test_table3_thermal_params(benchmark):
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print_table("Table 3: thermal model parameters", ["parameter", "ours", "paper"], rows)
+    for _name, ours, paper in rows:
+        if isinstance(ours, str):
+            assert ours == paper
+        else:
+            assert abs(float(ours) - float(paper)) < 1e-9

@@ -1,0 +1,29 @@
+"""Table 4: die-to-die interconnect bandwidth requirements."""
+
+from conftest import print_table
+
+from repro.experiments.interconnect import table4_bandwidth
+
+PAPER = {
+    "loads": (128, "lsq"),
+    "branch_outcome": (1, "bpred"),
+    "stores": (128, "lsq"),
+    "register_values": (768, "regfile"),
+    "l2_transfer": (384, "l2_ctl"),
+}
+
+
+def test_table4_d2d_bandwidth(benchmark):
+    rows = benchmark.pedantic(table4_bandwidth, rounds=1, iterations=1)
+    print_table(
+        "Table 4: D2D bandwidth requirements",
+        ["data", "width (bits)", "via placement"],
+        [[r.data, r.width_bits, r.placement] for r in rows],
+    )
+    total = sum(r.width_bits for r in rows)
+    print(f"total vias: {total} (paper: 1409; 1025 inter-core + 384 L2)")
+    for row in rows:
+        width, placement = PAPER[row.data]
+        assert row.width_bits == width
+        assert row.placement == placement
+    assert total == 1409

@@ -1,0 +1,32 @@
+"""Table 6: ITRS variability projections."""
+
+from conftest import print_table
+
+from repro.experiments.technology import table6_variability
+
+PAPER = {
+    80: (0.26, 0.41, 0.55),
+    65: (0.33, 0.45, 0.56),
+    45: (0.42, 0.50, 0.58),
+    32: (0.58, 0.57, 0.59),
+}
+
+
+def test_table6_variability(benchmark):
+    rows = benchmark.pedantic(table6_variability, rounds=1, iterations=1)
+    print_table(
+        "Table 6: variability vs technology node",
+        ["node (nm)", "Vth", "circuit perf", "circuit power"],
+        [
+            [r["feature_nm"],
+             f"{r['vth_variability']:.0%}",
+             f"{r['circuit_performance_variability']:.0%}",
+             f"{r['circuit_power_variability']:.0%}"]
+            for r in rows
+        ],
+    )
+    for r in rows:
+        vth, perf, power = PAPER[r["feature_nm"]]
+        assert r["vth_variability"] == vth
+        assert r["circuit_performance_variability"] == perf
+        assert r["circuit_power_variability"] == power

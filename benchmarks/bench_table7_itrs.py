@@ -1,0 +1,30 @@
+"""Table 7: ITRS device characteristics."""
+
+from conftest import print_table
+
+from repro.experiments.technology import table7_devices
+
+PAPER = {
+    90: (1.2, 37, 8.79e-16, 0.05),
+    65: (1.1, 25, 6.99e-16, 0.20),
+    45: (1.0, 18, 8.28e-16, 0.28),
+}
+
+
+def test_table7_itrs(benchmark):
+    rows = benchmark.pedantic(table7_devices, rounds=1, iterations=1)
+    print_table(
+        "Table 7: device characteristics",
+        ["node (nm)", "V", "gate length (nm)", "C/um (F)", "Ioff/um (uA)"],
+        [
+            [r["feature_nm"], r["voltage_v"], r["gate_length_nm"],
+             f"{r['capacitance_f_per_um']:.2e}", r["leakage_ua_per_um"]]
+            for r in rows
+        ],
+    )
+    for r in rows:
+        v, l, c, i = PAPER[r["feature_nm"]]
+        assert r["voltage_v"] == v
+        assert r["gate_length_nm"] == l
+        assert abs(r["capacitance_f_per_um"] - c) < 1e-18
+        assert r["leakage_ua_per_um"] == i

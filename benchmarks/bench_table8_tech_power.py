@@ -1,0 +1,23 @@
+"""Table 8: relative power across technology nodes, derived from Table 7."""
+
+from conftest import print_table
+
+from repro.experiments.technology import table8_power_ratios
+
+
+def test_table8_tech_power(benchmark):
+    rows = benchmark.pedantic(table8_power_ratios, rounds=1, iterations=1)
+    print_table(
+        "Table 8: relative power of old vs new node",
+        ["nodes", "dyn (derived)", "dyn (paper)", "leak (derived)", "leak (paper)"],
+        [
+            [f"{r.old_nm}/{r.new_nm}", r.dynamic_derived, r.dynamic_published,
+             r.leakage_derived, r.leakage_published]
+            for r in rows
+        ],
+    )
+    for r in rows:
+        assert abs(r.dynamic_derived - r.dynamic_published) <= 0.02
+        # The 65/45 leakage row: the paper prints 0.99 where the straight
+        # I*L*V derivation gives 1.09 (documented deviation).
+        assert abs(r.leakage_derived - r.leakage_published) <= 0.11

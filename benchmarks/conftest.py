@@ -1,0 +1,31 @@
+"""Shared settings for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper and prints a
+paper-vs-measured comparison (run with ``-s`` to see the tables, e.g.
+``pytest benchmarks/ --benchmark-only -s``).  Simulation-backed benchmarks
+use a reduced instruction window so the full harness completes in minutes;
+EXPERIMENTS.md records full-window results.
+"""
+
+from repro.experiments.runner import SimulationWindow
+from repro.workloads.profiles import get_profile
+
+# Window used by the simulation-backed benchmarks.
+BENCH_WINDOW = SimulationWindow(warmup=6000, measured=20_000)
+
+# Representative subset for the most expensive sweeps.
+BENCH_SUBSET = [
+    get_profile(name) for name in ("gzip", "mcf", "mesa", "swim", "eon", "art")
+]
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Uniform fixed-width table printer for benchmark output."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Thermal design-space exploration of the 3D checker (Sections 3.2-3.3).
+
+Sweeps checker power over the three chip organizations, evaluates the
+paper's design-space probes (inactive upper die, corner placement,
+doubled power density), and finds the thermally-equivalent frequency for
+the constant-thermal-constraint analysis.
+
+    python examples/design_space_sweep.py
+"""
+
+from repro.common.config import ChipModel
+from repro.experiments.thermal import (
+    fig4_thermal_sweep,
+    standard_floorplan,
+    thermal_variants,
+)
+from repro.experiments.thermal_constraint import thermally_equivalent_frequency
+from repro.thermal import ChipThermalModel
+
+
+def main() -> None:
+    print("=== checker power sweep (Figure 4) ===")
+    print(f"{'checker':>8} {'2d-2a':>8} {'3d-2a':>8} {'2d-a':>8} {'3d delta':>9}")
+    for row in fig4_thermal_sweep():
+        print(
+            f"{row.checker_power_w:>7.0f}W {row.temp_2d_2a_c:>7.1f}C "
+            f"{row.temp_3d_2a_c:>7.1f}C {row.temp_2d_a_c:>7.1f}C "
+            f"{row.delta_3d_vs_2da:>+8.1f}C"
+        )
+
+    print("\n=== design-space probes (deltas vs standard 3d-2a) ===")
+    for power in (7.0, 15.0):
+        variants = thermal_variants(power)
+        print(
+            f"{power:4.0f}W checker: inactive upper die {variants['inactive_top']:+.1f} C, "
+            f"corner {variants['corner']:+.1f} C, "
+            f"double density {variants['double_density']:+.1f} C"
+        )
+
+    print("\n=== constant thermal constraint (Section 3.3) ===")
+    for power in (7.0, 15.0):
+        ratio = thermally_equivalent_frequency(power)
+        print(
+            f"{power:4.0f}W checker: the 3D chip matches 2d-a thermals at "
+            f"{2 * ratio:.2f} GHz ({1 - ratio:.1%} frequency reduction)"
+        )
+
+    print("\n=== where does the heat go? (3d-2a, 7 W checker) ===")
+    plan = standard_floorplan(ChipModel.THREE_D_2A, checker_power_w=7.0)
+    solved = ChipThermalModel(plan).solve()
+    hottest = sorted(
+        solved.block_peak_c.items(), key=lambda kv: kv[1], reverse=True
+    )[:8]
+    for name, temp in hottest:
+        block = plan.block(name)
+        print(
+            f"  {name:12s} die{block.die}  {block.power_w:5.2f} W over "
+            f"{block.area_mm2:5.2f} mm2  -> {temp:.1f} C"
+        )
+
+
+if __name__ == "__main__":
+    main()

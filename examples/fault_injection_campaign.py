@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Fault-injection campaign over the RMT checking protocol (Section 2).
+
+Sweeps soft-error and dynamic-timing-error rates over the functional RMT
+engine and audits detection, ECC behaviour, recovery, and architectural
+safety (the committed store stream must match a fault-free golden run).
+
+    python examples/fault_injection_campaign.py
+"""
+
+from repro.core.faults import FaultInjector, FaultRates
+from repro.core.functional import FunctionalRmt
+from repro.isa.trace import generate_trace
+from repro.workloads import get_profile
+
+
+def campaign(trace, golden_stream, soft_rate, timing_rate, seed):
+    injector = FaultInjector(
+        leading=FaultRates(soft_error=soft_rate, timing_error=timing_rate),
+        trailing=FaultRates(soft_error=soft_rate / 2, timing_error=timing_rate / 2),
+        seed=seed,
+    )
+    result = FunctionalRmt(injector=injector).run(trace)
+    return injector, result, result.store_stream == golden_stream
+
+
+def main() -> None:
+    profile = get_profile("vpr")
+    instructions = 30_000
+    trace = generate_trace(profile, instructions, seed=42)
+    golden = FunctionalRmt().run(trace).store_stream
+    print(f"workload: {profile.name}, {instructions} instructions, "
+          f"{len(golden)} committed stores\n")
+
+    header = (
+        f"{'soft rate':>10} {'timing rate':>12} {'faults':>7} {'detected':>9} "
+        f"{'ECC fix':>8} {'ECC det':>8} {'recovered':>10} {'safe':>5}"
+    )
+    print(header)
+    print("-" * len(header))
+    for soft, timing in [
+        (1e-4, 0.0),
+        (0.0, 1e-4),
+        (1e-4, 1e-4),
+        (1e-3, 1e-3),
+        (5e-3, 5e-3),
+    ]:
+        injector, result, safe = campaign(trace, golden, soft, timing, seed=11)
+        print(
+            f"{soft:>10.0e} {timing:>12.0e} {len(injector.injected):>7} "
+            f"{result.mismatches_detected:>9} {result.ecc_corrections:>8} "
+            f"{result.ecc_detections_uncorrectable:>8} {result.recoveries:>10} "
+            f"{'yes' if safe else 'NO':>5}"
+        )
+
+    print(
+        "\nEvery campaign must end architecturally safe: any single datapath"
+        "\nfault is caught by the register-value comparison (or corrected by"
+        "\nECC on the protected structures) and recovery re-executes from the"
+        "\ntrailing core's checked register file."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""The heterogeneous (older-process) checker die of Section 4.
+
+Walks through every consequence of building the checker die at 90 nm
+under a 65 nm leading die: power, area, temperature, the 1.4 GHz
+frequency ceiling, and error resilience.
+
+    python examples/heterogeneous_checker.py
+"""
+
+from repro.experiments.hetero import checker_power_at_node, section4_heterogeneous
+from repro.experiments.runner import SimulationWindow
+from repro.workloads import get_profile
+
+
+def main() -> None:
+    window = SimulationWindow(warmup=6000, measured=20_000)
+    benchmarks = [get_profile(n) for n in ("gzip", "mcf", "mesa", "swim")]
+    result = section4_heterogeneous(window=window, benchmarks=benchmarks)
+
+    print("=== power ===")
+    print(f"checker core      : {result.checker_power_65nm_w:.1f} W @ 65nm "
+          f"-> {result.checker_power_90nm_w:.1f} W @ 90nm "
+          f"(paper: 14.5 -> 23.7 W)")
+    print(f"  at the 1.4 GHz DFS cap the 90nm checker draws "
+          f"{checker_power_at_node(result.checker_power_65nm_w, 90, 0.7):.1f} W")
+    print(f"upper-die cache   : {result.upper_cache_banks_65nm} banks "
+          f"({result.upper_cache_power_65nm_w:.1f} W) -> "
+          f"{result.upper_cache_banks_90nm} banks "
+          f"({result.upper_cache_power_90nm_w:.1f} W)  (paper: 9 -> 5 banks)")
+    print(f"checker-die total : {result.checker_die_delta_w:+.1f} W "
+          f"(paper: +6.9 W)")
+
+    print("\n=== area & temperature ===")
+    print(f"90nm checker area : {result.checker_area_90nm_mm2:.1f} mm2 "
+          f"(65nm: 5.0) -> power density falls")
+    print(f"chip peak         : {result.peak_temp_homogeneous_c:.1f} C (homo) vs "
+          f"{result.peak_temp_hetero_c:.1f} C (hetero), "
+          f"delta {result.peak_temp_hetero_c - result.peak_temp_homogeneous_c:+.1f} C "
+          f"(paper: up to -4 C)")
+    print(f"checker block     : {result.checker_temp_homogeneous_c:.1f} C -> "
+          f"{result.checker_temp_hetero_c:.1f} C")
+
+    print("\n=== frequency ===")
+    print(f"90nm peak clock   : {2 * result.peak_frequency_ratio:.1f} GHz "
+          f"(a 500 ps 65nm stage takes 714 ps at 90nm)")
+    print(f"checker needs avg : {result.mean_required_frequency_ghz:.2f} GHz "
+          f"(paper: 1.26 GHz) -> the cap rarely binds")
+    print(f"leading slowdown  : {result.leading_slowdown:.1%} (paper: ~3%)")
+    print(f"90nm L2 bank      : {result.bank_access_cycles_65nm} -> "
+          f"{result.bank_access_cycles_90nm} cycles per access")
+
+    print("\n=== error resilience ===")
+    print(f"timing error rate : {result.timing_error_rate_65nm:.2e} (65nm) vs "
+          f"{result.timing_error_rate_90nm:.2e} (90nm at its capped levels)")
+    print(f"uncorrectable SER : 90nm/65nm ratio {result.soft_error_rate_ratio:.2f} "
+          f"(multi-bit upsets are what defeat ECC)")
+
+    print("\n=== the closing trade (paper Section 6) ===")
+    print(f"temperature increase vs 2d-a : {result.temp_increase_homo_c:+.1f} C homo "
+          f"vs {result.temp_increase_hetero_c:+.1f} C hetero (paper: +7 vs +3)")
+    print(f"constrained performance loss : {result.constraint_loss_homo:.1%} homo "
+          f"vs {result.constraint_loss_hetero:.1%} hetero (paper: 8% vs 4%)")
+    print("\nConclusion: the older-process checker die costs power but "
+          "lowers hot-block density and error rates — roughly halving the "
+          "reliability overhead on both axes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""NUCA L2 exploration: policies, capacities, and hit latencies.
+
+Reproduces the Section 3.3 cache analysis: the 6 MB vs 15 MB miss rates,
+the 18 vs 22 cycle average hit latencies, and the distributed-sets vs
+distributed-ways policy comparison.
+
+    python examples/nuca_exploration.py
+"""
+
+from repro.common.config import ChipModel, NucaPolicy
+from repro.experiments.runner import SimulationWindow, simulate_leading
+from repro.workloads import spec2k_suite
+
+WINDOW = SimulationWindow(warmup=6000, measured=20_000)
+
+
+def main() -> None:
+    print("=== per-benchmark L2 behaviour: 6 MB (2d-a) vs 15 MB (2d-2a) ===")
+    print(f"{'benchmark':>10} {'IPC 6MB':>8} {'IPC 15MB':>9} "
+          f"{'m/10k 6MB':>10} {'m/10k 15MB':>11} {'hit lat':>12}")
+    total6 = total15 = 0.0
+    for profile in spec2k_suite():
+        small = simulate_leading(profile, ChipModel.TWO_D_A, window=WINDOW)
+        big = simulate_leading(profile, ChipModel.TWO_D_2A, window=WINDOW)
+        total6 += small.l2_misses_per_10k
+        total15 += big.l2_misses_per_10k
+        print(
+            f"{profile.name:>10} {small.ipc:>8.2f} {big.ipc:>9.2f} "
+            f"{small.l2_misses_per_10k:>10.2f} {big.l2_misses_per_10k:>11.2f} "
+            f"{small.average_l2_hit_latency:>5.1f}->{big.average_l2_hit_latency:<5.1f}"
+        )
+    print(
+        f"\nsuite average misses/10k: {total6 / 19:.2f} -> {total15 / 19:.2f} "
+        f"(paper: 1.43 -> 1.25)"
+    )
+
+    print("\n=== NUCA policy: distributed sets vs distributed ways (3d-2a) ===")
+    subset = [p for p in spec2k_suite() if p.name in
+              ("gzip", "mcf", "mesa", "eon", "swim", "vortex")]
+    for profile in subset:
+        sets_run = simulate_leading(
+            profile, ChipModel.THREE_D_2A, window=WINDOW,
+            policy=NucaPolicy.DISTRIBUTED_SETS,
+        )
+        ways_run = simulate_leading(
+            profile, ChipModel.THREE_D_2A, window=WINDOW,
+            policy=NucaPolicy.DISTRIBUTED_WAYS,
+        )
+        print(
+            f"{profile.name:>10}: sets IPC {sets_run.ipc:.2f} "
+            f"(hit {sets_run.average_l2_hit_latency:.1f} cyc)  "
+            f"ways IPC {ways_run.ipc:.2f} "
+            f"(hit {ways_run.average_l2_hit_latency:.1f} cyc)"
+        )
+    print("\nThe way policy's migration pulls re-referenced blocks next to "
+          "the controller;\nthe paper finds it < 2% apart from the simpler "
+          "set policy, which the rest of\nthe evaluation therefore uses.")
+
+
+if __name__ == "__main__":
+    main()

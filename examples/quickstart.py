@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: simulate the 3D reliable processor on one benchmark.
+
+Runs the RMT co-simulation (out-of-order leading core + 3D-stacked
+in-order checker with register value prediction and DFS) on a synthetic
+SPEC2k-like workload, then solves the stacked chip's thermal model.
+
+    python examples/quickstart.py [benchmark]
+"""
+
+import sys
+
+from repro import ChipModel, SimulationWindow, simulate_leading, simulate_rmt
+from repro.experiments.thermal import standard_floorplan
+from repro.thermal import ChipThermalModel
+from repro.workloads import get_profile
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gzip"
+    profile = get_profile(benchmark)
+    window = SimulationWindow(warmup=8000, measured=30_000)
+
+    print(f"=== {benchmark}: RMT co-simulation on the 3d-2a chip ===")
+    result = simulate_rmt(profile, ChipModel.THREE_D_2A, window=window)
+    baseline = simulate_leading(profile, ChipModel.TWO_D_A, window=window)
+
+    lead = result.leading
+    print(f"leading core IPC        : {lead.ipc:.2f} "
+          f"(2d-a baseline: {baseline.ipc:.2f})")
+    print(f"branch mispredict rate  : {lead.branch_mispredict_rate:.1%}")
+    print(f"L2 misses / 10k instrs  : {lead.l2_misses_per_10k:.2f}")
+    print(f"avg L2 hit latency      : {lead.average_l2_hit_latency:.1f} cycles")
+    print()
+    print(f"checker mean frequency  : {result.mean_frequency_fraction:.2f}x peak "
+          f"({result.mean_checker_frequency_hz(2e9) / 1e9:.2f} GHz)")
+    print(f"checker modal frequency : {result.modal_frequency_fraction:.1f}x "
+          f"(the paper's Figure 7 mode is 0.6x)")
+    print("frequency residency     :")
+    for level, frac in result.frequency_residency.items():
+        if frac > 0:
+            print(f"   {level:.1f}x : {'#' * int(60 * frac)} {frac:.1%}")
+    print(f"leader commits stalled by checker: {result.backpressure_commits} "
+          f"of {lead.instructions + window.warmup}")
+
+    print()
+    print("=== thermal impact of snapping on the checker die ===")
+    base_t = ChipThermalModel(standard_floorplan(ChipModel.TWO_D_A)).solve()
+    for power in (7.0, 15.0):
+        plan = standard_floorplan(ChipModel.THREE_D_2A, checker_power_w=power)
+        solved = ChipThermalModel(plan).solve()
+        print(f"{power:4.0f} W checker: peak {solved.peak_c:.1f} C "
+              f"({solved.peak_c - base_t.peak_c:+.1f} vs 2d-a baseline "
+              f"{base_t.peak_c:.1f} C), hottest block: {solved.hottest_block()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Visualize the 3D stack: floorplans and the temperature field.
+
+Renders both dies of the 3d-2a chip as labelled tile maps, then solves
+the thermal model and shows each active layer's temperature as an ASCII
+heatmap — the hot leading-core strip, the cooler cache, and the checker's
+footprint on the upper die are all visible.
+
+    python examples/thermal_map.py [checker_power_w]
+"""
+
+import sys
+
+from repro.common.config import ChipModel
+from repro.experiments.thermal import standard_floorplan
+from repro.thermal import ChipThermalModel
+from repro.viz import floorplan_map, heatmap
+
+
+def main() -> None:
+    checker_power = float(sys.argv[1]) if len(sys.argv) > 1 else 15.0
+    plan = standard_floorplan(ChipModel.THREE_D_2A, checker_power_w=checker_power)
+
+    for die, label in ((0, "die 1 (heat-sink side): leading core + 6 MB L2"),
+                       (1, "die 2 (stacked): checker + 9 MB L2")):
+        print(f"=== {label} ===")
+        print(floorplan_map(plan, die=die, width=58, height=16))
+        print()
+
+    solved = ChipThermalModel(plan).solve()
+    print(f"peak: {solved.peak_c:.1f} C at {solved.hottest_block()}  "
+          f"(checker at {checker_power:.0f} W)\n")
+    for layer, label in (("active_1", "die 1 active layer"),
+                         ("active_2", "die 2 active layer")):
+        grid = solved.layer_grids[layer]
+        print(f"--- {label}: {grid.max():.1f} C peak ---")
+        # Flip so the map matches the floorplan orientation (y upward).
+        print(heatmap(grid[::-1], width=58, height=16))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Thermal transient of snapping on the checker die.
+
+Simulates the time trajectory of the 3d-2a chip's temperature when a
+workload phase raises the checker from idle to its full 15 W (the DTM
+scenario the paper's Discussion paragraph sketches): how fast the chip
+approaches the trigger, and what steady-state throttle DTM settles at.
+
+    python examples/thermal_transient.py
+"""
+
+import numpy as np
+
+from repro.common.config import ChipModel, ThermalConfig
+from repro.experiments.thermal import standard_floorplan
+from repro.thermal import ChipThermalModel, DtmController, TransientThermalModel
+
+
+def power_maps_for(model: ChipThermalModel, checker_power: float):
+    cfg = model.config
+    maps = {
+        "active_1": np.zeros((cfg.grid_rows, cfg.grid_cols)),
+        "active_2": np.zeros((cfg.grid_rows, cfg.grid_cols)),
+    }
+    layer_of = {0: "active_1", 1: "active_2"}
+    for block in model.floorplan.blocks:
+        power = checker_power if block.name == "checker" else block.power_w
+        if power <= 0:
+            continue
+        die, idx, frac = model._block_cells[block.name]
+        np.add.at(maps[layer_of[die]].ravel(), idx, power * frac)
+    n_cells = cfg.grid_rows * cfg.grid_cols
+    for die, power in model.floorplan.distributed_power_w.items():
+        maps[layer_of[die]] += power / n_cells
+    return maps
+
+
+def main() -> None:
+    plan = standard_floorplan(ChipModel.THREE_D_2A, checker_power_w=15.0)
+    model = ChipThermalModel(plan, ThermalConfig())
+    transient = TransientThermalModel(model.grid, timestep_s=1e-3)
+
+    idle = power_maps_for(model, checker_power=15.0 * 0.32)   # leakage only
+    busy = power_maps_for(model, checker_power=15.0)
+
+    print("phase 1: checker idle (leakage only), 50 ms")
+    state, peaks = transient.run(idle, duration_s=0.05)
+    print(f"  peak settles at {peaks[-1]:.1f} C")
+
+    print("phase 2: checker goes busy (15 W), 100 ms")
+    state, peaks = transient.run(busy, duration_s=0.1, state=state)
+    for t_ms in (1, 5, 10, 25, 50, 100):
+        step = min(len(peaks) - 1, t_ms - 1)
+        print(f"  t = {t_ms:3d} ms : peak {peaks[step]:.1f} C")
+    steady = model.solve().peak_c
+    print(f"  steady state would be {steady:.1f} C")
+
+    print("\nDTM steady state for an 84 C trigger:")
+    controller = DtmController(plan, trigger_c=84.0)
+    result = controller.steady_state()
+    if result.emergency:
+        print(f"  throttle to {result.frequency_fraction:.2f}x frequency "
+              f"(peak {result.throttled_peak_c:.1f} C, "
+              f"up to {result.performance_cost:.0%} performance cost)")
+    else:
+        print("  no emergency: full speed fits the trigger")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim (the environment lacks the `wheel` package, so editable
+installs need the legacy `setup.py develop` path via --no-use-pep517)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""repro — reproduction of "Leveraging 3D Technology for Improved
+Reliability" (Madan & Balasubramonian, MICRO 2007).
+
+A from-scratch Python implementation of the paper's reliable processor —
+an out-of-order leading core checked by a 3D-stacked in-order trailing
+core — together with every substrate its evaluation needs: synthetic
+SPEC2k-like workloads, a NUCA L2, Wattch-style power, a HotSpot-style 3D
+thermal grid, interconnect and die-to-die via models, ITRS technology
+scaling, and soft/timing-error models.
+
+Quick start::
+
+    from repro import simulate_rmt, ChipModel
+    result = simulate_rmt("gzip", ChipModel.THREE_D_2A)
+    print(result.leading.ipc, result.modal_frequency_fraction)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and figure.
+"""
+
+from repro.common.config import (
+    CheckerCoreConfig,
+    ChipModel,
+    DfsConfig,
+    LeadingCoreConfig,
+    NucaConfig,
+    NucaPolicy,
+    QueueConfig,
+    SystemConfig,
+    ThermalConfig,
+)
+from repro.core.functional import FunctionalRmt
+from repro.core.rmt import RmtSimulator, RmtTimingResult
+from repro.experiments.runner import (
+    SimulationWindow,
+    simulate_leading,
+    simulate_rmt,
+)
+from repro.floorplan.layouts import CheckerPlacement, Floorplan, build_floorplan
+from repro.presets import DesignPoint, load_preset, preset_names
+from repro.thermal.hotspot import ChipThermalModel, solve_floorplan
+from repro.workloads.profiles import SPEC2K_PROFILES, get_profile, spec2k_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckerCoreConfig",
+    "ChipModel",
+    "DfsConfig",
+    "LeadingCoreConfig",
+    "NucaConfig",
+    "NucaPolicy",
+    "QueueConfig",
+    "SystemConfig",
+    "ThermalConfig",
+    "FunctionalRmt",
+    "RmtSimulator",
+    "RmtTimingResult",
+    "SimulationWindow",
+    "simulate_leading",
+    "simulate_rmt",
+    "CheckerPlacement",
+    "Floorplan",
+    "build_floorplan",
+    "DesignPoint",
+    "load_preset",
+    "preset_names",
+    "ChipThermalModel",
+    "solve_floorplan",
+    "SPEC2K_PROFILES",
+    "get_profile",
+    "spec2k_suite",
+    "__version__",
+]

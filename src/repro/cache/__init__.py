@@ -1,0 +1,14 @@
+"""Cache hierarchy: set-associative L1s, NUCA L2, CACTI-lite estimates."""
+
+from repro.cache.cacti import BankEstimate, CactiModel
+from repro.cache.nuca import AccessResult, NucaCache, bank_hops_for_model
+from repro.cache.sram import SetAssociativeCache
+
+__all__ = [
+    "BankEstimate",
+    "CactiModel",
+    "AccessResult",
+    "NucaCache",
+    "bank_hops_for_model",
+    "SetAssociativeCache",
+]

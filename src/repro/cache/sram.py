@@ -1,0 +1,112 @@
+"""Set-associative cache with true LRU replacement.
+
+Used for the L1 instruction/data caches and as the building block of the
+NUCA L2 banks.  The model tracks tags only (the simulator's memory values
+are a deterministic function of the address, see
+:func:`repro.isa.instruction.load_value_for_address`).
+"""
+
+from __future__ import annotations
+
+from repro.common.config import CacheGeometry
+from repro.common.stats import StatGroup
+
+__all__ = ["SetAssociativeCache"]
+
+
+class SetAssociativeCache:
+    """A tag-only set-associative cache with LRU replacement.
+
+    ``access`` performs lookup-and-fill in one step (the common case for a
+    simple latency model); ``probe``/``fill`` are exposed separately for
+    callers that manage placement themselves (the NUCA controller).
+    """
+
+    def __init__(self, geometry: CacheGeometry, name: str = "cache"):
+        self.geometry = geometry
+        self.name = name
+        self._offset_bits = geometry.line_bytes.bit_length() - 1
+        self._num_sets = geometry.num_sets
+        # Each set is a list of tags in LRU order (index 0 = LRU).
+        self._sets: list[list[int]] = [[] for _ in range(self._num_sets)]
+        self.stats = StatGroup(name)
+        self._hits = self.stats.counter("hits")
+        self._misses = self.stats.counter("misses")
+
+    # -- address helpers ------------------------------------------------
+    def set_index(self, address: int) -> int:
+        """The set an address maps to."""
+        return (address >> self._offset_bits) % self._num_sets
+
+    def tag(self, address: int) -> int:
+        """The tag for an address (the full line address, simple and safe)."""
+        return address >> self._offset_bits
+
+    # -- operations ------------------------------------------------------
+    def access(self, address: int) -> bool:
+        """Look up the line; on a miss, fill it.  Returns hit/miss."""
+        line = self.tag(address)
+        ways = self._sets[self.set_index(address)]
+        try:
+            ways.remove(line)
+        except ValueError:
+            self._misses.increment()
+            ways.append(line)
+            if len(ways) > self.geometry.ways:
+                del ways[0]
+            return False
+        ways.append(line)  # move to MRU
+        self._hits.increment()
+        return True
+
+    def probe(self, address: int) -> bool:
+        """Check residency without updating LRU state or filling."""
+        return self.tag(address) in self._sets[self.set_index(address)]
+
+    def fill(self, address: int) -> int | None:
+        """Insert the line; return the evicted line address, if any."""
+        line = self.tag(address)
+        ways = self._sets[self.set_index(address)]
+        if line in ways:
+            return None
+        ways.append(line)
+        if len(ways) > self.geometry.ways:
+            victim = ways.pop(0)
+            return victim << self._offset_bits
+        return None
+
+    def invalidate(self, address: int) -> bool:
+        """Remove the line if present; return whether it was present."""
+        line = self.tag(address)
+        ways = self._sets[self.set_index(address)]
+        try:
+            ways.remove(line)
+            return True
+        except ValueError:
+            return False
+
+    # -- statistics --------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        """Number of hits so far."""
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        """Number of misses so far."""
+        return self._misses.value
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses so far."""
+        return self._hits.value + self._misses.value
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss rate over all accesses (0.0 if never accessed)."""
+        total = self.accesses
+        return self._misses.value / total if total else 0.0
+
+    def resident_lines(self) -> int:
+        """Number of lines currently resident (for invariant checks)."""
+        return sum(len(ways) for ways in self._sets)

@@ -1,0 +1,352 @@
+"""Command-line interface: regenerate any of the paper's results.
+
+Usage::
+
+    python -m repro list
+    python -m repro simulate gzip --chip 3d-2a
+    python -m repro fig4 | fig7 | fig8 | fig9
+    python -m repro table4 | table5 | table6 | table7 | table8
+    python -m repro vias | wires | coverage | constraint | hetero
+
+The heavyweight figures (fig5, fig6) accept ``--window N`` to trade
+fidelity for time; the pytest-benchmark harness under ``benchmarks/``
+remains the canonical way to regenerate everything with assertions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.config import ChipModel
+from repro.common.tables import print_table
+from repro.experiments import (
+    SimulationWindow,
+    constant_thermal_performance,
+    fault_coverage_campaign,
+    fig4_thermal_sweep,
+    fig6_performance,
+    fig7_frequency_histogram,
+    fig8_ser_scaling,
+    fig9_mbu_curve,
+    section34_wire_analysis,
+    section4_heterogeneous,
+    simulate_rmt,
+    table4_bandwidth,
+    table5_pipeline_power,
+    table6_variability,
+    table7_devices,
+    table8_power_ratios,
+    via_summary,
+)
+from repro.workloads.profiles import get_profile, spec2k_suite
+
+_CHIP_BY_NAME = {c.value: c for c in ChipModel}
+
+
+def _window(args) -> SimulationWindow:
+    measured = args.window
+    return SimulationWindow(warmup=max(1000, measured // 4), measured=measured)
+
+
+def _cmd_list(_args) -> None:
+    print("experiments:")
+    for name, what in [
+        ("simulate", "RMT co-simulation of one benchmark on one chip model"),
+        ("fig4", "peak temperature vs checker power"),
+        ("fig6", "per-benchmark IPC across chip models (slow)"),
+        ("fig7", "checker DFS frequency residency"),
+        ("fig8", "SRAM soft-error-rate scaling"),
+        ("fig9", "multi-bit upset probability vs critical charge"),
+        ("table4", "die-to-die bandwidth requirements"),
+        ("table5", "pipeline-depth power overheads"),
+        ("table6", "ITRS variability projections"),
+        ("table7", "ITRS device characteristics"),
+        ("table8", "relative power across technology nodes"),
+        ("vias", "d2d via count / power / area"),
+        ("wires", "horizontal interconnect budgets"),
+        ("coverage", "fault-injection detection/recovery audit"),
+        ("constraint", "constant-thermal-constraint frequency and loss"),
+        ("hetero", "the 90 nm checker die analysis (slow)"),
+    ]:
+        print(f"  {name:10s} {what}")
+    print("\nbenchmarks:", " ".join(p.name for p in spec2k_suite()))
+
+
+def _cmd_simulate(args) -> None:
+    chip = _CHIP_BY_NAME[args.chip]
+    profile = get_profile(args.benchmark)
+    result = simulate_rmt(profile, chip, window=_window(args), seed=args.seed)
+    lead = result.leading
+    print(f"{profile.name} on {chip.value}:")
+    print(f"  leading IPC           : {lead.ipc:.3f}")
+    print(f"  branch mispredicts    : {lead.branch_mispredict_rate:.1%}")
+    print(f"  L2 misses / 10k       : {lead.l2_misses_per_10k:.2f}")
+    print(f"  avg L2 hit latency    : {lead.average_l2_hit_latency:.1f} cycles")
+    print(f"  checker mean frequency: {result.mean_frequency_fraction:.2f}x peak")
+    print(f"  checker modal level   : {result.modal_frequency_fraction:.1f}x")
+    print(f"  backpressure commits  : {result.backpressure_commits}")
+
+
+def _cmd_fig4(_args) -> None:
+    rows = fig4_thermal_sweep()
+    print_table(
+        "Figure 4: peak temperature vs checker power",
+        ["checker (W)", "2d-2a (C)", "3d-2a (C)", "2d-a (C)", "3d delta (C)"],
+        [
+            [r.checker_power_w, f"{r.temp_2d_2a_c:.1f}", f"{r.temp_3d_2a_c:.1f}",
+             f"{r.temp_2d_a_c:.1f}", f"{r.delta_3d_vs_2da:+.1f}"]
+            for r in rows
+        ],
+    )
+
+
+def _cmd_fig6(args) -> None:
+    rows = fig6_performance(window=_window(args))
+    print_table(
+        "Figure 6: IPC per benchmark",
+        ["benchmark", "2d-a", "2d-2a", "3d-2a", "3d-checker"],
+        [
+            [r.benchmark] + [f"{r.ipc[c.value]:.2f}" for c in (
+                ChipModel.TWO_D_A, ChipModel.TWO_D_2A,
+                ChipModel.THREE_D_2A, ChipModel.THREE_D_CHECKER)]
+            for r in rows
+        ],
+    )
+
+
+def _cmd_fig7(args) -> None:
+    result = fig7_frequency_histogram(window=_window(args))
+    print_table(
+        "Figure 7: checker frequency residency",
+        ["normalized f", "% of intervals"],
+        [[f"{lvl:.1f}", f"{frac:.1%}"] for lvl, frac in result.fractions.items()],
+    )
+    print(f"mode {result.mode:.1f}, mean {result.mean:.2f} "
+          f"({result.mean_frequency_hz() / 1e9:.2f} GHz)")
+
+
+def _cmd_fig8(_args) -> None:
+    print_table(
+        "Figure 8: SER scaling",
+        ["node (nm)", "per-bit", "whole chip"],
+        [[r["feature_nm"], r["per_bit_relative"], r["chip_relative"]]
+         for r in fig8_ser_scaling()],
+    )
+
+
+def _cmd_fig9(_args) -> None:
+    print_table(
+        "Figure 9: MBU probability",
+        ["node (nm)", "Qcrit (fC)", "P(MBU)"],
+        [[r["feature_nm"], r["critical_charge_fc"], r["mbu_probability"]]
+         for r in fig9_mbu_curve()],
+    )
+
+
+def _cmd_table4(_args) -> None:
+    rows = table4_bandwidth()
+    print_table(
+        "Table 4: D2D bandwidth",
+        ["data", "width (bits)", "placement"],
+        [[r.data, r.width_bits, r.placement] for r in rows],
+    )
+    print(f"total: {sum(r.width_bits for r in rows)} vias")
+
+
+def _cmd_table5(_args) -> None:
+    print_table(
+        "Table 5: pipeline power",
+        ["FO4", "dyn (paper)", "dyn (model)", "leak (paper)", "leak (model)"],
+        [
+            [r.fo4_per_stage, r.published_dynamic, r.model_dynamic,
+             r.published_leakage, r.model_leakage]
+            for r in table5_pipeline_power()
+        ],
+    )
+
+
+def _cmd_table6(_args) -> None:
+    print_table(
+        "Table 6: ITRS variability",
+        ["node (nm)", "Vth", "perf", "power"],
+        [
+            [r["feature_nm"], f"{r['vth_variability']:.0%}",
+             f"{r['circuit_performance_variability']:.0%}",
+             f"{r['circuit_power_variability']:.0%}"]
+            for r in table6_variability()
+        ],
+    )
+
+
+def _cmd_table7(_args) -> None:
+    print_table(
+        "Table 7: ITRS devices",
+        ["node (nm)", "V", "Lgate (nm)", "C/um (F)", "Ioff/um (uA)"],
+        [
+            [r["feature_nm"], r["voltage_v"], r["gate_length_nm"],
+             f"{r['capacitance_f_per_um']:.2e}", r["leakage_ua_per_um"]]
+            for r in table7_devices()
+        ],
+    )
+
+
+def _cmd_table8(_args) -> None:
+    print_table(
+        "Table 8: relative power",
+        ["nodes", "dyn (derived/paper)", "leak (derived/paper)"],
+        [
+            [f"{r.old_nm}/{r.new_nm}",
+             f"{r.dynamic_derived}/{r.dynamic_published}",
+             f"{r.leakage_derived}/{r.leakage_published}"]
+            for r in table8_power_ratios()
+        ],
+    )
+
+
+def _cmd_vias(_args) -> None:
+    summary = via_summary()
+    print(f"vias: {summary.num_vias}")
+    print(f"per-via power: {summary.per_via_power_mw:.4f} mW")
+    print(f"total power  : {summary.total_power_mw:.2f} mW")
+    print(f"total area   : {summary.total_area_mm2:.3f} mm2")
+
+
+def _cmd_wires(_args) -> None:
+    budgets = section34_wire_analysis()
+    print_table(
+        "Section 3.4: wire budgets",
+        ["model", "inter-core (mm)", "ic metal (mm2)", "L2 metal (mm2)", "power (W)"],
+        [
+            [name, f"{b.intercore_length_mm:.0f}",
+             f"{b.intercore_metal_area_mm2:.2f}", f"{b.l2_metal_area_mm2:.2f}",
+             f"{b.total_power_w:.1f}"]
+            for name, b in budgets.items()
+        ],
+    )
+
+
+def _cmd_coverage(args) -> None:
+    result = fault_coverage_campaign(seed=args.seed)
+    print(f"instructions : {result.instructions}")
+    print(f"faults       : {result.faults_injected}")
+    print(f"detected     : {result.mismatches_detected}")
+    print(f"recovered    : {result.recoveries}")
+    print(f"ECC corrected: {result.ecc_corrections}")
+    print(f"ECC detected : {result.ecc_uncorrectable}")
+    print(f"arch. safe   : {result.architecturally_safe}")
+
+
+def _cmd_constraint(args) -> None:
+    for power in (7.0, 15.0):
+        result = constant_thermal_performance(
+            checker_power_w=power, window=_window(args)
+        )
+        print(
+            f"{power:4.0f} W checker: {result.frequency_ghz:.2f} GHz, "
+            f"{result.performance_loss:.1%} performance loss"
+        )
+
+
+def _cmd_thermalmap(args) -> None:
+    from repro.experiments.thermal import standard_floorplan
+    from repro.thermal import ChipThermalModel
+    from repro.viz import floorplan_map, heatmap
+
+    chip = _CHIP_BY_NAME[args.chip]
+    plan = standard_floorplan(chip, checker_power_w=7.0)
+    solved = ChipThermalModel(plan).solve()
+    for die in range(plan.num_dies):
+        print(f"--- die {die + 1} floorplan ---")
+        print(floorplan_map(plan, die=die, width=58, height=14))
+        layer = "active_1" if die == 0 else "active_2"
+        grid = solved.layer_grids[layer]
+        print(f"--- die {die + 1} temperature ({grid.max():.1f} C peak) ---")
+        print(heatmap(grid[::-1], width=58, height=14))
+    print(f"chip peak: {solved.peak_c:.1f} C at {solved.hottest_block()}")
+
+
+def _cmd_presets(_args) -> None:
+    from repro.presets import load_preset, preset_names
+
+    for name in preset_names():
+        point = load_preset(name)
+        print(f"{name:12s} {point.description}")
+
+
+def _cmd_report(args) -> None:
+    from repro.experiments.report import generate_report
+
+    generate_report(args.out, window=_window(args))
+    print(f"wrote {args.out}/results.json and {args.out}/results.md")
+
+
+def _cmd_hetero(args) -> None:
+    result = section4_heterogeneous(window=_window(args))
+    print(f"checker power : {result.checker_power_65nm_w:.1f} W (65nm) -> "
+          f"{result.checker_power_90nm_w:.1f} W (90nm)")
+    print(f"upper cache   : 9 banks -> {result.upper_cache_banks_90nm} banks")
+    print(f"die delta     : {result.checker_die_delta_w:+.1f} W")
+    print(f"peak temps    : {result.peak_temp_homogeneous_c:.1f} C -> "
+          f"{result.peak_temp_hetero_c:.1f} C")
+    print(f"peak clock    : {2 * result.peak_frequency_ratio:.1f} GHz")
+    print(f"leader slowdown: {result.leading_slowdown:.1%}")
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "simulate": _cmd_simulate,
+    "fig4": _cmd_fig4,
+    "fig6": _cmd_fig6,
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+    "fig9": _cmd_fig9,
+    "table4": _cmd_table4,
+    "table5": _cmd_table5,
+    "table6": _cmd_table6,
+    "table7": _cmd_table7,
+    "table8": _cmd_table8,
+    "vias": _cmd_vias,
+    "wires": _cmd_wires,
+    "coverage": _cmd_coverage,
+    "constraint": _cmd_constraint,
+    "hetero": _cmd_hetero,
+    "report": _cmd_report,
+    "thermalmap": _cmd_thermalmap,
+    "presets": _cmd_presets,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce results from 'Leveraging 3D Technology for "
+        "Improved Reliability' (MICRO 2007).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in _COMMANDS:
+        p = sub.add_parser(name)
+        if name == "simulate":
+            p.add_argument("benchmark")
+        if name in ("simulate", "thermalmap"):
+            p.add_argument(
+                "--chip", default="3d-2a", choices=sorted(_CHIP_BY_NAME)
+            )
+        if name == "report":
+            p.add_argument("--out", default="results")
+        p.add_argument("--window", type=int, default=20_000,
+                       help="measured instructions per simulation")
+        p.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

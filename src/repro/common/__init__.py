@@ -1,0 +1,57 @@
+"""Shared infrastructure: units, configs, RNG streams, stats, geometry."""
+
+from repro.common.config import (
+    BranchPredictorConfig,
+    CacheGeometry,
+    CheckerCoreConfig,
+    ChipModel,
+    DfsConfig,
+    LeadingCoreConfig,
+    NucaConfig,
+    NucaPolicy,
+    QueueConfig,
+    SystemConfig,
+    ThermalConfig,
+)
+from repro.common.errors import (
+    CalibrationError,
+    ConfigError,
+    FloorplanError,
+    QueueEmptyError,
+    QueueFullError,
+    ReproError,
+    SimulationError,
+    ThermalModelError,
+)
+from repro.common.geometry import Rect
+from repro.common.rng import RngFactory, derive_seed
+from repro.common.stats import Counter, Histogram, RunningMean, StatGroup
+
+__all__ = [
+    "BranchPredictorConfig",
+    "CacheGeometry",
+    "CheckerCoreConfig",
+    "ChipModel",
+    "DfsConfig",
+    "LeadingCoreConfig",
+    "NucaConfig",
+    "NucaPolicy",
+    "QueueConfig",
+    "SystemConfig",
+    "ThermalConfig",
+    "CalibrationError",
+    "ConfigError",
+    "FloorplanError",
+    "QueueEmptyError",
+    "QueueFullError",
+    "ReproError",
+    "SimulationError",
+    "ThermalModelError",
+    "Rect",
+    "RngFactory",
+    "derive_seed",
+    "Counter",
+    "Histogram",
+    "RunningMean",
+    "StatGroup",
+]

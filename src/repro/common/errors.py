@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro library.
+
+Every exception raised intentionally by this package derives from
+:class:`ReproError` so callers can catch library errors without catching
+programming mistakes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""
+
+
+class QueueFullError(SimulationError):
+    """A bounded inter-core queue was pushed while full."""
+
+
+class QueueEmptyError(SimulationError):
+    """A bounded inter-core queue was popped while empty."""
+
+
+class FloorplanError(ReproError):
+    """A floorplan is geometrically invalid (overlap, out-of-die block)."""
+
+
+class ThermalModelError(ReproError):
+    """The thermal solver was given an invalid stack or power map."""
+
+
+class CalibrationError(ReproError):
+    """A model could not be calibrated to its published anchor values."""

@@ -1,0 +1,80 @@
+"""2D geometry primitives used by floorplans and the thermal grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Rect"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle: origin ``(x, y)`` plus width and height.
+
+    Units are whatever the caller uses consistently (floorplans use metres).
+    """
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width < 0 or self.height < 0:
+            raise ValueError(f"negative rectangle dimensions: {self}")
+
+    @property
+    def x2(self) -> float:
+        """Right edge coordinate."""
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        """Top edge coordinate."""
+        return self.y + self.height
+
+    @property
+    def area(self) -> float:
+        """Area of the rectangle."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """Centre point ``(cx, cy)``."""
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True if the two rectangles share interior area (not just edges)."""
+        return (
+            self.x < other.x2
+            and other.x < self.x2
+            and self.y < other.y2
+            and other.y < self.y2
+        )
+
+    def contains(self, other: "Rect") -> bool:
+        """True if ``other`` lies entirely within this rectangle."""
+        return (
+            other.x >= self.x
+            and other.y >= self.y
+            and other.x2 <= self.x2
+            and other.y2 <= self.y2
+        )
+
+    def intersection_area(self, other: "Rect") -> float:
+        """Area of the overlap between the two rectangles (0 if disjoint)."""
+        dx = min(self.x2, other.x2) - max(self.x, other.x)
+        dy = min(self.y2, other.y2) - max(self.y, other.y)
+        if dx <= 0 or dy <= 0:
+            return 0.0
+        return dx * dy
+
+    def manhattan_distance_to(self, other: "Rect") -> float:
+        """Manhattan distance between the centres of two rectangles."""
+        cx1, cy1 = self.center
+        cx2, cy2 = other.center
+        return abs(cx1 - cx2) + abs(cy1 - cy2)
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """A copy of this rectangle moved by ``(dx, dy)``."""
+        return Rect(self.x + dx, self.y + dy, self.width, self.height)

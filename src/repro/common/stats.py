@@ -1,0 +1,169 @@
+"""Lightweight statistics collection for simulator components.
+
+Provides named scalar counters, running averages, and fixed-bin histograms.
+Components own a :class:`StatGroup` and register stats at construction time;
+experiment drivers read them after a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "RunningMean", "Histogram", "StatGroup"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing event counter."""
+
+    name: str
+    value: int = 0
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+    def reset(self) -> None:
+        """Reset the counter to zero."""
+        self.value = 0
+
+
+@dataclass
+class RunningMean:
+    """Incremental mean/min/max of a stream of samples."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    minimum: float = field(default=float("inf"))
+    maximum: float = field(default=float("-inf"))
+
+    def add(self, sample: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += sample
+        if sample < self.minimum:
+            self.minimum = sample
+        if sample > self.maximum:
+            self.maximum = sample
+
+    @property
+    def mean(self) -> float:
+        """Mean of all samples so far (0.0 if no samples)."""
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Forget all samples."""
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+
+class Histogram:
+    """A histogram over a fixed set of ordered bin labels.
+
+    Used e.g. for the DFS frequency-residency histogram (Figure 7), where the
+    bins are the discrete frequency levels.
+    """
+
+    def __init__(self, name: str, bins: list[float]):
+        if not bins:
+            raise ValueError("histogram needs at least one bin")
+        self.name = name
+        self.bins = list(bins)
+        self.counts = [0] * len(bins)
+        self._index = {b: i for i, b in enumerate(self.bins)}
+
+    def add(self, bin_label: float, amount: int = 1) -> None:
+        """Record ``amount`` occurrences of ``bin_label`` (must be a bin)."""
+        try:
+            self.counts[self._index[bin_label]] += amount
+        except KeyError:
+            raise KeyError(
+                f"histogram {self.name}: {bin_label!r} is not a bin"
+            ) from None
+
+    @property
+    def total(self) -> int:
+        """Total number of recorded occurrences."""
+        return sum(self.counts)
+
+    def fractions(self) -> list[float]:
+        """Per-bin fraction of the total (all zeros if empty)."""
+        total = self.total
+        if total == 0:
+            return [0.0] * len(self.bins)
+        return [c / total for c in self.counts]
+
+    def mode(self) -> float:
+        """The bin label with the highest count."""
+        best = max(range(len(self.bins)), key=lambda i: self.counts[i])
+        return self.bins[best]
+
+    def mean(self) -> float:
+        """Count-weighted mean of the bin labels (0.0 if empty)."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return sum(b * c for b, c in zip(self.bins, self.counts)) / total
+
+    def reset(self) -> None:
+        """Zero all bins."""
+        self.counts = [0] * len(self.bins)
+
+
+class StatGroup:
+    """A named collection of stats belonging to one component."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._stats: dict[str, Counter | RunningMean | Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Create (or fetch) a counter called ``name``."""
+        return self._get_or_create(name, lambda: Counter(name))
+
+    def running_mean(self, name: str) -> RunningMean:
+        """Create (or fetch) a running mean called ``name``."""
+        return self._get_or_create(name, lambda: RunningMean(name))
+
+    def histogram(self, name: str, bins: list[float]) -> Histogram:
+        """Create (or fetch) a histogram called ``name`` with ``bins``."""
+        return self._get_or_create(name, lambda: Histogram(name, bins))
+
+    def _get_or_create(self, name, factory):
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = factory()
+            self._stats[name] = stat
+        return stat
+
+    def __getitem__(self, name: str):
+        return self._stats[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def names(self) -> list[str]:
+        """Sorted names of all registered stats."""
+        return sorted(self._stats)
+
+    def as_dict(self) -> dict[str, float | list[int]]:
+        """Snapshot of all stats, suitable for reporting."""
+        out: dict[str, float | list[int]] = {}
+        for name, stat in self._stats.items():
+            if isinstance(stat, Counter):
+                out[name] = stat.value
+            elif isinstance(stat, RunningMean):
+                out[name] = stat.mean
+            else:
+                out[name] = list(stat.counts)
+        return out
+
+    def reset(self) -> None:
+        """Reset every stat in the group."""
+        for stat in self._stats.values():
+            stat.reset()

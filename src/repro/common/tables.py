@@ -1,0 +1,30 @@
+"""Plain-text table formatting shared by the CLI and benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def format_table(
+    title: str, header: Sequence[str], rows: Iterable[Sequence]
+) -> str:
+    """Render a fixed-width table with a title banner."""
+    rows = [list(map(str, row)) for row in rows]
+    header = list(map(str, header))
+    widths = [
+        max(len(header[i]), max((len(r[i]) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    lines = [f"=== {title} ==="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print :func:`format_table` output with a leading blank line."""
+    print()
+    print(format_table(title, header, rows))

@@ -1,0 +1,60 @@
+"""Physical unit constants and conversion helpers.
+
+All internal quantities in this library are stored in SI base units
+(metres, seconds, watts, kelvin-relative degrees Celsius, farads) unless a
+name explicitly says otherwise (``*_mm``, ``*_cycles``, ...).  The constants
+below make call sites read like the paper: ``10 * MICROMETRE``.
+"""
+
+from __future__ import annotations
+
+# Length
+METRE = 1.0
+MILLIMETRE = 1e-3
+MICROMETRE = 1e-6
+NANOMETRE = 1e-9
+
+# Area
+MM2 = 1e-6  # square metres per square millimetre
+
+# Time / frequency
+SECOND = 1.0
+MILLISECOND = 1e-3
+NANOSECOND = 1e-9
+PICOSECOND = 1e-12
+HERTZ = 1.0
+MEGAHERTZ = 1e6
+GIGAHERTZ = 1e9
+
+# Electrical
+VOLT = 1.0
+FARAD = 1.0
+FEMTOFARAD = 1e-15
+WATT = 1.0
+MILLIWATT = 1e-3
+MICROWATT = 1e-6
+
+# Data
+BYTE = 1
+KILOBYTE = 1024
+MEGABYTE = 1024 * 1024
+
+
+def mm2_to_m2(area_mm2: float) -> float:
+    """Convert an area in mm^2 to m^2."""
+    return area_mm2 * MM2
+
+
+def m2_to_mm2(area_m2: float) -> float:
+    """Convert an area in m^2 to mm^2."""
+    return area_m2 / MM2
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert degrees Celsius to kelvin."""
+    return temp_c + 273.15
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert kelvin to degrees Celsius."""
+    return temp_k - 273.15

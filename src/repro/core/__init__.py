@@ -1,0 +1,55 @@
+"""The paper's reliable processor: leading core, checker core, RMT coupling."""
+
+from repro.core.branch import BranchPredictor
+from repro.core.checker import InOrderCheckerTiming
+from repro.core.dfs import DfsController
+from repro.core.faults import (
+    EccOutcome,
+    Fault,
+    FaultInjector,
+    FaultKind,
+    FaultRates,
+    FaultSite,
+    apply_bit_flips,
+    secded_outcome,
+)
+from repro.core.functional import FunctionalRmt, RmtRunResult, golden_store_stream
+from repro.core.leading import LeadingCoreTiming, LeadingRunResult
+from repro.core.memory import MemoryHierarchy
+from repro.core.queues import (
+    BoundedQueue,
+    BranchOutcomeEntry,
+    LoadValueEntry,
+    RegisterValueEntry,
+    StoreBuffer,
+    StoreBufferEntry,
+)
+from repro.core.rmt import RmtSimulator, RmtTimingResult
+
+__all__ = [
+    "BranchPredictor",
+    "InOrderCheckerTiming",
+    "DfsController",
+    "EccOutcome",
+    "Fault",
+    "FaultInjector",
+    "FaultKind",
+    "FaultRates",
+    "FaultSite",
+    "apply_bit_flips",
+    "secded_outcome",
+    "FunctionalRmt",
+    "RmtRunResult",
+    "golden_store_stream",
+    "LeadingCoreTiming",
+    "LeadingRunResult",
+    "MemoryHierarchy",
+    "BoundedQueue",
+    "BranchOutcomeEntry",
+    "LoadValueEntry",
+    "RegisterValueEntry",
+    "StoreBuffer",
+    "StoreBufferEntry",
+    "RmtSimulator",
+    "RmtTimingResult",
+]

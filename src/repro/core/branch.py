@@ -1,0 +1,125 @@
+"""Combined bimodal / 2-level branch predictor with BTB (Table 1).
+
+The leading core uses this predictor; the trailing checker core instead
+receives perfect branch outcomes through the branch outcome queue (BOQ).
+"""
+
+from __future__ import annotations
+
+from repro.common.config import BranchPredictorConfig
+from repro.common.stats import StatGroup
+
+__all__ = ["BranchPredictor"]
+
+_TAKEN_THRESHOLD = 2  # 2-bit counters: 0,1 predict not-taken; 2,3 taken
+
+
+class BranchPredictor:
+    """McFarling-style combined predictor: bimodal + gshare-like 2-level.
+
+    A chooser table of 2-bit counters selects, per branch, whichever
+    component has been more accurate.  A branch-target buffer provides
+    targets for predicted-taken branches; a BTB miss on a taken branch is
+    counted as a misprediction (the front end cannot redirect).
+    """
+
+    def __init__(self, config: BranchPredictorConfig | None = None, name: str = "bpred"):
+        self.config = config or BranchPredictorConfig()
+        cfg = self.config
+        self._bimodal = [1] * cfg.bimodal_entries
+        self._pht = [1] * cfg.level2_entries
+        self._chooser = [1] * cfg.bimodal_entries  # start slightly favouring bimodal
+        self._history = 0
+        self._history_mask = (1 << cfg.history_bits) - 1
+        # BTB: direct-mapped-per-way tag store, sets x ways.
+        self._btb: list[list[tuple[int, int]]] = [[] for _ in range(cfg.btb_sets)]
+        self.stats = StatGroup(name)
+        self._lookups = self.stats.counter("lookups")
+        self._mispredicts = self.stats.counter("mispredicts")
+
+    # ------------------------------------------------------------------
+    def _bimodal_index(self, pc: int) -> int:
+        return (pc >> 2) % self.config.bimodal_entries
+
+    def _pht_index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) % self.config.level2_entries
+
+    def _btb_set(self, pc: int) -> int:
+        return (pc >> 2) % self.config.btb_sets
+
+    # ------------------------------------------------------------------
+    def predict(self, pc: int) -> tuple[bool, int | None]:
+        """Predict (direction, target) for the branch at ``pc``.
+
+        ``target`` is None on a BTB miss.  Does not update any state; call
+        :meth:`update` with the actual outcome afterwards.
+        """
+        bimodal_taken = self._bimodal[self._bimodal_index(pc)] >= _TAKEN_THRESHOLD
+        pht_taken = self._pht[self._pht_index(pc)] >= _TAKEN_THRESHOLD
+        use_pht = self._chooser[self._bimodal_index(pc)] >= _TAKEN_THRESHOLD
+        taken = pht_taken if use_pht else bimodal_taken
+        target = None
+        if taken:
+            for tag, tgt in self._btb[self._btb_set(pc)]:
+                if tag == pc:
+                    target = tgt
+                    break
+        return taken, target
+
+    def update(self, pc: int, taken: bool, target: int) -> bool:
+        """Record the real outcome; returns True if it was mispredicted.
+
+        A misprediction is a wrong direction, or a taken branch whose
+        target was absent from the BTB.
+        """
+        self._lookups.increment()
+        predicted_taken, predicted_target = self.predict(pc)
+        mispredicted = predicted_taken != taken or (
+            taken and predicted_target != target
+        )
+        if mispredicted:
+            self._mispredicts.increment()
+
+        bi = self._bimodal_index(pc)
+        ph = self._pht_index(pc)
+        bimodal_correct = (self._bimodal[bi] >= _TAKEN_THRESHOLD) == taken
+        pht_correct = (self._pht[ph] >= _TAKEN_THRESHOLD) == taken
+        if pht_correct != bimodal_correct:
+            self._chooser[bi] = _saturate(self._chooser[bi], pht_correct)
+        self._bimodal[bi] = _saturate(self._bimodal[bi], taken)
+        self._pht[ph] = _saturate(self._pht[ph], taken)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+        if taken:
+            ways = self._btb[self._btb_set(pc)]
+            for i, (tag, _) in enumerate(ways):
+                if tag == pc:
+                    del ways[i]
+                    break
+            ways.append((pc, target))
+            if len(ways) > self.config.btb_ways:
+                del ways[0]
+        return mispredicted
+
+    # ------------------------------------------------------------------
+    @property
+    def lookups(self) -> int:
+        """Number of resolved branches."""
+        return self._lookups.value
+
+    @property
+    def mispredicts(self) -> int:
+        """Number of mispredictions."""
+        return self._mispredicts.value
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Fraction of branches mispredicted (0.0 if none resolved)."""
+        total = self._lookups.value
+        return self._mispredicts.value / total if total else 0.0
+
+
+def _saturate(counter: int, up: bool) -> int:
+    if up:
+        return min(3, counter + 1)
+    return max(0, counter - 1)

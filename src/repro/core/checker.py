@@ -1,0 +1,129 @@
+"""Timing model of the in-order trailing checker core.
+
+With register value prediction (RVP) the checker's instructions never stall
+on data dependences: operands arrive with the RVQ entry, so throughput is
+bounded only by fetch/issue bandwidth and functional units (Section 2.1).
+Without RVP the model honours in-order dependence stalls, which is what
+makes the paper's case for RVP measurable.
+
+The checker runs at a frequency that is a fraction of the leading core's;
+all times exchanged with the RMT harness are expressed in *leading-core
+cycles* so the two clock domains compose (GALS-style, Section 2.1).
+"""
+
+from __future__ import annotations
+
+from repro.common.config import CheckerCoreConfig
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import EXECUTION_LATENCY, OpClass
+
+__all__ = ["InOrderCheckerTiming"]
+
+
+class InOrderCheckerTiming:
+    """Incremental in-order consumption model for the trailing core."""
+
+    def __init__(self, config: CheckerCoreConfig, frequency_ratio: float = 1.0):
+        self.config = config
+        self._fu_capacity = {
+            OpClass.IALU: 4,
+            OpClass.IMUL: 2,
+            OpClass.FALU: 1,
+            OpClass.FMUL: 1,
+        }
+        self.set_frequency_ratio(frequency_ratio)
+        self._cycle_start = 0.0   # leading-cycle time of the current trailing cycle
+        self._slots_used = 0
+        self._fu_used: dict[OpClass, int] = {}
+        self._reg_ready: dict[int, float] = {}
+        self._consumed = 0
+        self._last_done = 0.0
+
+    # ------------------------------------------------------------------
+    def set_frequency_ratio(self, ratio: float) -> None:
+        """Set the trailing/leading frequency ratio (0 < ratio <= 1).
+
+        The change takes effect at the *next* trailing clock edge: the
+        cycle already in progress completes under the old clock (a faster
+        clock must not retroactively shorten work already scheduled).
+        """
+        if not 0.0 < ratio <= 1.0 + 1e-9:
+            raise ValueError(f"frequency ratio must be in (0, 1], got {ratio}")
+        if getattr(self, "_slots_used", 0) > 0:
+            self._new_cycle(self._cycle_start + self._cycle_len)
+        self._ratio = ratio
+        self._cycle_len = 1.0 / ratio  # leading cycles per trailing cycle
+
+    @property
+    def frequency_ratio(self) -> float:
+        """Current trailing/leading frequency ratio."""
+        return self._ratio
+
+    # ------------------------------------------------------------------
+    def consume(self, instr: Instruction, available_time: float) -> float:
+        """Check instruction ``instr`` whose RVQ entry arrives at
+        ``available_time`` (leading cycles); returns the check-commit time.
+        """
+        pool = self._pool(instr.op)
+        earliest = available_time
+        if not self.config.uses_register_value_prediction:
+            if instr.src1 >= 0:
+                earliest = max(earliest, self._reg_ready.get(instr.src1, 0.0))
+            if instr.src2 >= 0:
+                earliest = max(earliest, self._reg_ready.get(instr.src2, 0.0))
+
+        if earliest >= self._cycle_start + self._cycle_len:
+            # The trailer idles until the entry arrives; start a new cycle.
+            self._new_cycle(earliest)
+        while (
+            self._slots_used >= self.config.issue_width
+            or self._fu_used.get(pool, 0) >= self._fu_capacity[pool]
+        ):
+            self._new_cycle(self._cycle_start + self._cycle_len)
+        self._slots_used += 1
+        self._fu_used[pool] = self._fu_used.get(pool, 0) + 1
+
+        done = self._cycle_start + self._cycle_len
+        # Check-commit times are monotone by construction; guard against
+        # any residual clock-domain boundary effect.
+        done = max(done, self._last_done)
+        self._last_done = done
+        if not self.config.uses_register_value_prediction and instr.writes_register:
+            latency = EXECUTION_LATENCY.get(instr.op, 1)
+            self._reg_ready[instr.dst] = done + (latency - 1) * self._cycle_len
+        self._consumed += 1
+        return done
+
+    def _new_cycle(self, start: float) -> None:
+        self._cycle_start = start
+        self._slots_used = 0
+        self._fu_used = {}
+
+    @staticmethod
+    def _pool(op: OpClass) -> OpClass:
+        if op in (OpClass.LOAD, OpClass.STORE, OpClass.BRANCH):
+            return OpClass.IALU
+        return op
+
+    # ------------------------------------------------------------------
+    @property
+    def consumed(self) -> int:
+        """Number of instructions checked so far."""
+        return self._consumed
+
+    def peak_throughput_per_trailing_cycle(self, op_mix: dict[OpClass, float]) -> float:
+        """Upper-bound instructions per trailing cycle for a given op mix.
+
+        The binding constraint is either issue width or the most contended
+        functional-unit pool.
+        """
+        width = float(self.config.issue_width)
+        bound = width
+        pool_demand: dict[OpClass, float] = {}
+        for op, frac in op_mix.items():
+            pool = self._pool(op)
+            pool_demand[pool] = pool_demand.get(pool, 0.0) + frac
+        for pool, demand in pool_demand.items():
+            if demand > 0:
+                bound = min(bound, self._fu_capacity[pool] / demand)
+        return min(width, bound)

@@ -1,0 +1,79 @@
+"""Dynamic frequency scaling controller for the trailing core.
+
+Implements the heuristic of Section 2.1 (after [19]): every interval the
+controller samples RVQ occupancy; if the queue is filling (the trailer is
+falling behind) the frequency steps up one level, if it is draining the
+frequency steps down.  Frequency changes take effect in a single cycle
+(Montecito-style DFS), so the model applies them instantaneously at
+interval boundaries.
+
+The controller records residency per level — the data behind Figure 7.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import DfsConfig
+from repro.common.stats import Histogram
+
+__all__ = ["DfsController"]
+
+
+class DfsController:
+    """Occupancy-threshold DFS over a discrete set of frequency levels."""
+
+    def __init__(self, config: DfsConfig | None = None, max_level_index: int | None = None):
+        self.config = config or DfsConfig()
+        self._levels = self.config.levels()
+        # An older-process checker caps its peak frequency (Section 4):
+        # max_level_index limits how far up the controller may scale.
+        if max_level_index is None:
+            max_level_index = len(self._levels) - 1
+        if not 0 <= max_level_index < len(self._levels):
+            raise ValueError("max_level_index out of range")
+        self._max_index = max_level_index
+        self._min_index = self.config.min_level - 1
+        self._index = self._max_index  # start at peak; DFS relaxes downward
+        self.residency = Histogram("frequency-residency", list(self._levels))
+        self.throttle_ups = 0
+        self.throttle_downs = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> float:
+        """Current frequency as a fraction of the peak (e.g. 0.6)."""
+        return self._levels[self._index]
+
+    @property
+    def levels(self) -> list[float]:
+        """All available frequency fractions, ascending."""
+        return list(self._levels)
+
+    def update(self, rvq_occupancy_fraction: float) -> float:
+        """One interval boundary: adjust the level, record residency.
+
+        Returns the new frequency fraction.
+        """
+        cfg = self.config
+        if rvq_occupancy_fraction > cfg.high_occupancy_threshold:
+            if self._index < self._max_index:
+                self._index = min(self._max_index, self._index + cfg.up_step)
+                self.throttle_ups += 1
+        elif rvq_occupancy_fraction < cfg.low_occupancy_threshold:
+            if self._index > self._min_index:
+                self._index = max(self._min_index, self._index - cfg.down_step)
+                self.throttle_downs += 1
+        self.residency.add(self._levels[self._index])
+        return self.level
+
+    # ------------------------------------------------------------------
+    def mean_frequency_fraction(self) -> float:
+        """Interval-weighted mean frequency fraction (Section 4: ~0.63)."""
+        return self.residency.mean()
+
+    def modal_frequency_fraction(self) -> float:
+        """The most common frequency fraction (Figure 7: 0.6)."""
+        return self.residency.mode()
+
+    def residency_fractions(self) -> dict[float, float]:
+        """Fraction of intervals spent at each level (Figure 7's bars)."""
+        return dict(zip(self.residency.bins, self.residency.fractions()))

@@ -1,0 +1,182 @@
+"""Fault models: transient (soft) errors, dynamic timing errors, ECC.
+
+The fault model follows Section 2 of the paper: single transient faults in
+the datapath are detected by the register checking process; recovery relies
+on the ECC-protected trailing register file, LVQ, and data cache.  Dynamic
+timing errors are *correlated* — one violation makes violations in the next
+few cycles far more likely — which is what motivates the paper's interest
+in a checker that is itself error-resilient (Sections 3.5 and 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.rng import RngFactory
+
+__all__ = [
+    "FaultKind",
+    "FaultSite",
+    "Fault",
+    "FaultInjector",
+    "EccOutcome",
+    "secded_outcome",
+    "apply_bit_flips",
+]
+
+
+class FaultKind(enum.Enum):
+    """Physical cause of a fault."""
+
+    SOFT_ERROR = "soft"          # high-energy particle strike
+    TIMING_ERROR = "timing"      # dynamic timing violation
+    HARD_ERROR = "hard"          # permanent device failure
+
+
+class FaultSite(enum.Enum):
+    """Where in the datapath a fault lands."""
+
+    LEADING_RESULT = "leading-result"      # leading core's computed result
+    LEADING_REGFILE = "leading-regfile"    # a leading register (unprotected)
+    RVQ_OPERAND = "rvq-operand"            # operand in flight to the trailer
+    LVQ_VALUE = "lvq-value"                # load value in flight (ECC)
+    TRAILING_RESULT = "trailing-result"    # trailer's computed result
+    TRAILING_REGFILE = "trailing-regfile"  # trailer register (ECC)
+    STORE_VALUE = "store-value"            # store value in the StB
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault: which instruction, where, and which bits flip."""
+
+    seq: int
+    kind: FaultKind
+    site: FaultSite
+    bits: tuple[int, ...]
+
+    @property
+    def num_bits(self) -> int:
+        """Number of flipped bits."""
+        return len(self.bits)
+
+
+class EccOutcome(enum.Enum):
+    """What SECDED ECC does with a corrupted word."""
+
+    CLEAN = "clean"            # no flipped bits
+    CORRECTED = "corrected"    # single-bit flip corrected
+    DETECTED = "detected"      # double-bit flip detected, not correctable
+    UNDETECTED = "undetected"  # >= 3 flips may escape SECDED
+
+
+def secded_outcome(num_flipped_bits: int) -> EccOutcome:
+    """SECDED behaviour as a function of the number of flipped bits."""
+    if num_flipped_bits < 0:
+        raise ValueError("bit count cannot be negative")
+    if num_flipped_bits == 0:
+        return EccOutcome.CLEAN
+    if num_flipped_bits == 1:
+        return EccOutcome.CORRECTED
+    if num_flipped_bits == 2:
+        return EccOutcome.DETECTED
+    return EccOutcome.UNDETECTED
+
+
+def apply_bit_flips(value: int, bits: tuple[int, ...]) -> int:
+    """Flip the given bit positions (0-63) of a 64-bit value."""
+    for bit in bits:
+        value ^= 1 << (bit % 64)
+    return value
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-instruction fault probabilities for one core."""
+
+    soft_error: float = 0.0
+    timing_error: float = 0.0
+    timing_burst_factor: float = 50.0   # correlation multiplier inside a burst
+    timing_burst_length: int = 4        # instructions a burst lasts
+    multi_bit_fraction: float = 0.05    # faults that flip 2 bits instead of 1
+
+
+class FaultInjector:
+    """Draws faults to inject into an RMT run.
+
+    Timing errors are correlated: after a timing error fires, the
+    per-instruction probability is multiplied by ``timing_burst_factor``
+    for the next ``timing_burst_length`` instructions, producing the
+    multi-error bursts the paper worries about (Section 3.5).
+    """
+
+    _SITES_LEADING = (
+        FaultSite.LEADING_RESULT,
+        FaultSite.LEADING_REGFILE,
+        FaultSite.RVQ_OPERAND,
+        FaultSite.LVQ_VALUE,
+        FaultSite.STORE_VALUE,
+    )
+    _SITES_TRAILING = (
+        FaultSite.TRAILING_RESULT,
+        FaultSite.TRAILING_REGFILE,
+    )
+
+    def __init__(
+        self,
+        leading: FaultRates = FaultRates(),
+        trailing: FaultRates = FaultRates(),
+        seed: int = 0,
+    ):
+        self.leading_rates = leading
+        self.trailing_rates = trailing
+        self._rng = RngFactory(seed).stream("fault-injector")
+        self._burst_remaining = {"leading": 0, "trailing": 0}
+        self.injected: list[Fault] = []
+
+    def faults_for(self, seq: int, core: str) -> list[Fault]:
+        """Faults striking instruction ``seq`` on ``core`` ('leading'/'trailing')."""
+        rates = self.leading_rates if core == "leading" else self.trailing_rates
+        sites = self._SITES_LEADING if core == "leading" else self._SITES_TRAILING
+        rng = self._rng
+        faults: list[Fault] = []
+
+        if rates.soft_error > 0 and rng.random() < rates.soft_error:
+            faults.append(self._make(seq, FaultKind.SOFT_ERROR, sites, rates))
+
+        timing_p = rates.timing_error
+        if self._burst_remaining[core] > 0:
+            timing_p = min(1.0, timing_p * rates.timing_burst_factor)
+            self._burst_remaining[core] -= 1
+        if timing_p > 0 and rng.random() < timing_p:
+            faults.append(self._make(seq, FaultKind.TIMING_ERROR, sites, rates))
+            self._burst_remaining[core] = rates.timing_burst_length
+
+        self.injected.extend(faults)
+        return faults
+
+    def _make(
+        self,
+        seq: int,
+        kind: FaultKind,
+        sites: tuple[FaultSite, ...],
+        rates: FaultRates,
+    ) -> Fault:
+        rng = self._rng
+        site = sites[int(rng.integers(0, len(sites)))]
+        num_bits = 2 if rng.random() < rates.multi_bit_fraction else 1
+        bits = tuple(
+            int(b) for b in rng.choice(64, size=num_bits, replace=False)
+        )
+        return Fault(seq=seq, kind=kind, site=site, bits=bits)
+
+
+def poisson_fault_schedule(
+    rate_per_instruction: float, num_instructions: int, seed: int = 0
+) -> np.ndarray:
+    """Sequence numbers at which independent faults strike (sorted)."""
+    rng = RngFactory(seed).stream("fault-schedule")
+    strikes = rng.random(num_instructions) < rate_per_instruction
+    return np.nonzero(strikes)[0]

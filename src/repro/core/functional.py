@@ -1,0 +1,301 @@
+"""Functional (value-domain) RMT execution with fault injection.
+
+This engine runs the leading and trailing cores over the same trace at the
+*value* level: every instruction computes a real 64-bit result, results and
+operands flow through the RVQ/LVQ/BOQ/StB, and the trailing core performs
+the actual comparison the paper's protocol prescribes.  Faults injected
+anywhere in the datapath therefore propagate, get caught (or not) by the
+checking process, and recovery restores state from the trailing core's
+ECC-protected register file — mechanistically, not by assumption.
+
+Timing is handled separately (:mod:`repro.core.rmt`); this module answers
+"is the protocol correct and what is its fault coverage?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import QueueConfig
+from repro.core.faults import (
+    EccOutcome,
+    Fault,
+    FaultInjector,
+    FaultSite,
+    apply_bit_flips,
+    secded_outcome,
+)
+from repro.core.queues import (
+    BoundedQueue,
+    BranchOutcomeEntry,
+    LoadValueEntry,
+    RegisterValueEntry,
+    StoreBuffer,
+    StoreBufferEntry,
+)
+from repro.isa.instruction import Instruction, compute_result, load_value_for_address
+from repro.isa.opcodes import OpClass
+
+__all__ = ["FunctionalRmt", "RmtRunResult"]
+
+_NUM_REGS = 64
+
+
+def _initial_regfile() -> list[int]:
+    # Deterministic non-trivial initial architectural state.
+    return [(0x243F6A8885A308D3 * (i + 1)) & ((1 << 64) - 1) for i in range(_NUM_REGS)]
+
+
+@dataclass
+class RmtRunResult:
+    """Outcome of a functional RMT run."""
+
+    instructions: int = 0
+    mismatches_detected: int = 0
+    recoveries: int = 0
+    ecc_corrections: int = 0
+    ecc_detections_uncorrectable: int = 0
+    silent_corruptions: int = 0
+    drained_stores: list[tuple[int, int]] = field(default_factory=list)
+    final_trailing_regfile: list[int] = field(default_factory=list)
+
+    @property
+    def store_stream(self) -> list[tuple[int, int]]:
+        """(address, value) pairs released to memory, in order."""
+        return self.drained_stores
+
+
+class FunctionalRmt:
+    """Leading + trailing cores coupled through the RMT queues (Figure 1).
+
+    The leading core executes and commits each instruction (possibly
+    corrupted by injected faults), pushing results/operands into the RVQ,
+    load values into the LVQ, branch outcomes into the BOQ and stores into
+    the StB.  The trailing core pops each entry, re-executes the instruction
+    with register value prediction, verifies the predicted operands against
+    its own register file, and compares results.  On any disagreement it
+    triggers recovery from its ECC-protected register file.
+    """
+
+    def __init__(
+        self,
+        queues: QueueConfig | None = None,
+        injector: FaultInjector | None = None,
+    ):
+        self.queue_config = queues or QueueConfig()
+        self.injector = injector
+        qc = self.queue_config
+        self.rvq: BoundedQueue[RegisterValueEntry] = BoundedQueue(qc.rvq_entries, "RVQ")
+        self.lvq: BoundedQueue[LoadValueEntry] = BoundedQueue(qc.lvq_entries, "LVQ")
+        self.boq: BoundedQueue[BranchOutcomeEntry] = BoundedQueue(qc.boq_entries, "BOQ")
+        self.stb = StoreBuffer(qc.stb_entries)
+        self.leading_regs = _initial_regfile()
+        self.trailing_regs = _initial_regfile()
+        self.result = RmtRunResult()
+
+    # ------------------------------------------------------------------
+    def run(self, trace: list[Instruction]) -> RmtRunResult:
+        """Execute the whole trace through both cores; return the outcome.
+
+        The functional model processes one instruction through both cores
+        before the next (the slack only affects timing, which this engine
+        does not model).
+        """
+        for instr in trace:
+            self._step(instr)
+        self.result.final_trailing_regfile = list(self.trailing_regs)
+        return self.result
+
+    # ------------------------------------------------------------------
+    def _step(self, instr: Instruction) -> None:
+        self.result.instructions += 1
+        faults = (
+            self.injector.faults_for(instr.seq, "leading") if self.injector else []
+        )
+        self._leading_execute(instr, faults)
+
+        tfaults = (
+            self.injector.faults_for(instr.seq, "trailing") if self.injector else []
+        )
+        self._trailing_check(instr, tfaults)
+
+    # -- leading core ----------------------------------------------------
+    def _leading_execute(self, instr: Instruction, faults: list[Fault]) -> None:
+        regs = self.leading_regs
+        op1 = regs[instr.src1] if instr.src1 >= 0 else 0
+        op2 = regs[instr.src2] if instr.src2 >= 0 else 0
+
+        if instr.is_load:
+            value = load_value_for_address(instr.address)
+            value = self._flip(faults, FaultSite.LVQ_VALUE, value, ecc=True)
+            result = value
+            # The whole load-value path (D-cache, LVQ, and the buses that
+            # carry load values) is ECC-protected — the paper's first
+            # fault-model condition — because it feeds both cores and a
+            # common-source corruption would otherwise escape comparison.
+            result = self._flip(faults, FaultSite.LEADING_RESULT, result, ecc=True)
+        elif instr.is_store:
+            result = op1  # the value being stored
+            result = self._flip(faults, FaultSite.LEADING_RESULT, result)
+        elif instr.is_branch:
+            result = 0
+        else:
+            result = compute_result(instr.op, op1, op2)
+            result = self._flip(faults, FaultSite.LEADING_RESULT, result)
+
+        if instr.writes_register:
+            regs[instr.dst] = result
+            # An unprotected leading register may be struck after the write.
+            regs[instr.dst] = self._flip(
+                faults, FaultSite.LEADING_REGFILE, regs[instr.dst]
+            )
+
+        # Communicate to the trailer.  Operands ride the (unprotected) RVQ.
+        sent_op1 = self._flip(faults, FaultSite.RVQ_OPERAND, op1)
+        if instr.is_load:
+            self._push_ready(self.lvq, LoadValueEntry(instr.seq, result))
+        if instr.is_branch:
+            self._push_ready(
+                self.boq, BranchOutcomeEntry(instr.seq, instr.taken, instr.target)
+            )
+        if instr.is_store:
+            value = self._flip(faults, FaultSite.STORE_VALUE, result)
+            self._push_ready(
+                self.stb, StoreBufferEntry(instr.seq, instr.address, value)
+            )
+        self._push_ready(
+            self.rvq, RegisterValueEntry(instr.seq, result, sent_op1, op2)
+        )
+
+    def _push_ready(self, queue, entry) -> None:
+        # The functional engine keeps queues drained instruction-by-
+        # instruction, so a full queue indicates a protocol bug.
+        queue.push(entry)
+
+    # -- trailing core ----------------------------------------------------
+    def _trailing_check(self, instr: Instruction, faults: list[Fault]) -> None:
+        regs = self.trailing_regs
+        entry = self.rvq.pop()
+
+        # Register value prediction: use the operands from the RVQ, but
+        # verify them against the trailer's own (checked) register file
+        # before commit.  A corrupted operand is caught here.
+        operands_ok = True
+        if instr.src1 >= 0 and entry.operand1 != self._read_protected(instr.src1, faults):
+            operands_ok = False
+        if instr.src2 >= 0 and entry.operand2 != self._read_protected(instr.src2, faults):
+            operands_ok = False
+
+        if instr.is_load:
+            lvq_entry = self.lvq.pop()
+            value = lvq_entry.value
+            # LVQ is ECC protected: single-bit corruption was corrected at
+            # injection time (see _flip with ecc=True).
+            trailing_result = value
+        elif instr.is_store:
+            trailing_result = regs[instr.src1] if instr.src1 >= 0 else 0
+        elif instr.is_branch:
+            self.boq.pop()
+            trailing_result = 0
+        else:
+            trailing_result = compute_result(
+                instr.op,
+                self._read_protected(instr.src1, faults) if instr.src1 >= 0 else 0,
+                self._read_protected(instr.src2, faults) if instr.src2 >= 0 else 0,
+            )
+
+        trailing_result = self._flip(faults, FaultSite.TRAILING_RESULT, trailing_result)
+
+        agree = operands_ok and trailing_result == entry.result
+        if instr.is_store:
+            stb_ok = self.stb.verify_and_drain(trailing_result)
+            agree = agree and stb_ok
+
+        if agree:
+            if instr.writes_register:
+                regs[instr.dst] = trailing_result
+            if instr.is_store:
+                self.result.drained_stores.append((instr.address, trailing_result))
+            return
+
+        # Disagreement: detection + recovery from the trailer's regfile.
+        self.result.mismatches_detected += 1
+        self._recover(instr)
+
+    def _read_protected(self, reg: int, faults: list[Fault]) -> int:
+        """Read a trailing register through its ECC protection.
+
+        Single-bit regfile faults are corrected; multi-bit faults are
+        detected (triggering recovery upstream) but here we count them and
+        return the corrupted value so the mismatch machinery fires.
+        """
+        value = self.trailing_regs[reg]
+        strikes = [
+            f for f in faults
+            if f.site is FaultSite.TRAILING_REGFILE
+        ]
+        if not strikes:
+            return value
+        fault = strikes[0]
+        outcome = secded_outcome(fault.num_bits)
+        if outcome is EccOutcome.CORRECTED:
+            self.result.ecc_corrections += 1
+            return value
+        if outcome is EccOutcome.DETECTED:
+            self.result.ecc_detections_uncorrectable += 1
+        faults.remove(fault)
+        return apply_bit_flips(value, fault.bits)
+
+    def _recover(self, instr: Instruction) -> None:
+        """Re-execute ``instr`` from the trailer's checked register state."""
+        self.result.recoveries += 1
+        regs = self.trailing_regs
+        op1 = regs[instr.src1] if instr.src1 >= 0 else 0
+        op2 = regs[instr.src2] if instr.src2 >= 0 else 0
+        if instr.is_load:
+            correct = load_value_for_address(instr.address)
+        elif instr.is_store:
+            correct = op1
+        elif instr.is_branch:
+            correct = 0
+        else:
+            correct = compute_result(instr.op, op1, op2)
+        if instr.writes_register:
+            regs[instr.dst] = correct
+        if instr.is_store:
+            self.result.drained_stores.append((instr.address, correct))
+        # The leading core restarts from the trailer's architectural state.
+        self.leading_regs = list(regs)
+
+    # ------------------------------------------------------------------
+    def _flip(
+        self, faults: list[Fault], site: FaultSite, value: int, ecc: bool = False
+    ) -> int:
+        """Apply any pending fault at ``site`` to ``value``.
+
+        With ``ecc=True`` the word is SECDED protected: single-bit flips are
+        corrected on the spot; double-bit flips are detected, and since the
+        protected structures (LVQ, D-cache) can re-read the value from an
+        ECC-protected backing store, detection recovers the original value
+        (counted separately).  Only a 3+-bit flip would escape SECDED.
+        """
+        for fault in faults:
+            if fault.site is site:
+                faults.remove(fault)
+                if ecc:
+                    outcome = secded_outcome(fault.num_bits)
+                    if outcome is EccOutcome.CORRECTED:
+                        self.result.ecc_corrections += 1
+                        return value
+                    if outcome is EccOutcome.DETECTED:
+                        self.result.ecc_detections_uncorrectable += 1
+                        return value
+                    self.result.silent_corruptions += 1
+                return apply_bit_flips(value, fault.bits)
+        return value
+
+
+def golden_store_stream(trace: list[Instruction]) -> list[tuple[int, int]]:
+    """The fault-free store stream for a trace (reference for coverage tests)."""
+    rmt = FunctionalRmt()
+    return rmt.run(trace).store_stream

@@ -1,0 +1,272 @@
+"""Timing model of the out-of-order leading core.
+
+A one-pass dependence-driven scheduler: each dynamic instruction is assigned
+fetch, issue, completion and commit cycles subject to
+
+* fetch bandwidth and I-cache misses,
+* branch mispredictions (front-end redirect at branch resolution plus the
+  Table 1 penalty of 12 cycles),
+* register dependences through a rename map,
+* functional-unit and issue-bandwidth structural hazards,
+* load latencies observed from the L1/NUCA-L2 hierarchy,
+* ROB / LSQ occupancy and in-order commit bandwidth,
+* an optional external *commit gate* used by the RMT harness to model
+  RVQ/StB backpressure from the trailing core.
+
+This style of scheduler tracks the cycle-by-cycle simulators it abstracts
+closely for the quantities the paper's evaluation needs (relative IPC across
+L2 organizations, commit-time streams for the checker co-simulation) at a
+small fraction of the cost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.common.config import LeadingCoreConfig
+from repro.common.stats import StatGroup
+from repro.core.branch import BranchPredictor
+from repro.core.memory import MemoryHierarchy
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import EXECUTION_LATENCY, OpClass
+
+__all__ = ["LeadingCoreTiming", "LeadingRunResult"]
+
+# Front-end depth from fetch to dispatch (rename/decode stages).
+_FRONT_END_DEPTH = 4
+_PRUNE_PERIOD = 4096
+
+
+@dataclass
+class LeadingRunResult:
+    """Summary of a leading-core timing run."""
+
+    instructions: int
+    cycles: int
+    ipc: float
+    branch_mispredict_rate: float
+    l1d_miss_rate: float
+    l2_misses_per_10k: float
+    average_l2_hit_latency: float
+    op_counts: dict[str, int]
+
+
+class LeadingCoreTiming:
+    """Incremental OoO timing model; feed instructions via :meth:`schedule`."""
+
+    def __init__(
+        self,
+        config: LeadingCoreConfig,
+        memory: MemoryHierarchy,
+        predictor: BranchPredictor | None = None,
+    ):
+        self.config = config
+        self.memory = memory
+        self.predictor = predictor or BranchPredictor()
+        self.stats = StatGroup("leading")
+
+        self._fu_capacity = {
+            OpClass.IALU: config.int_alus,
+            OpClass.IMUL: config.int_mults,
+            OpClass.FALU: config.fp_alus,
+            OpClass.FMUL: config.fp_mults,
+        }
+        # Per-cycle structural usage maps, pruned periodically.
+        self._issue_usage: dict[int, int] = {}
+        self._fu_usage: dict[tuple[int, OpClass], int] = {}
+
+        self._fetch_cycle = 0
+        self._fetch_in_group = 0
+        self._redirect_until = 0
+        self._last_fetch_line = -1
+        self._rename: dict[int, int] = {}  # reg -> completion cycle
+        self._rob_commits: deque[int] = deque(maxlen=config.rob_size)
+        self._lsq_commits: deque[int] = deque(maxlen=config.lsq_size)
+        # Issue-queue occupancy: an IQ entry is held from dispatch until
+        # issue, so dispatch stalls until the (i - iq_size)-th same-class
+        # instruction has issued.
+        self._int_issues: deque[int] = deque(maxlen=config.int_issue_queue_size)
+        self._fp_issues: deque[int] = deque(maxlen=config.fp_issue_queue_size)
+        self._last_commit_cycle = 0
+        self._commits_in_cycle = 0
+        self._scheduled = 0
+        self._last_commit = 0
+        self._op_counts: dict[str, int] = {c.value: 0 for c in OpClass}
+
+    # ------------------------------------------------------------------
+    def schedule(self, instr: Instruction, commit_gate: int = 0) -> int:
+        """Schedule one instruction; returns its commit cycle.
+
+        ``commit_gate`` is the earliest cycle the instruction may commit
+        (RVQ/StB backpressure from the RMT harness); 0 means unconstrained.
+        """
+        cfg = self.config
+        self._op_counts[instr.op.value] += 1
+
+        # ---- fetch ----
+        if self._fetch_cycle < self._redirect_until:
+            self._fetch_cycle = self._redirect_until
+            self._fetch_in_group = 0
+        line = instr.pc >> 6
+        if line != self._last_fetch_line:
+            self._last_fetch_line = line
+            fetch_latency = self.memory.fetch_latency(instr.pc)
+            if fetch_latency > cfg.l1_icache.hit_latency_cycles:
+                self._fetch_cycle += fetch_latency
+                self._fetch_in_group = 0
+        if self._fetch_in_group >= cfg.fetch_width:
+            self._fetch_cycle += 1
+            self._fetch_in_group = 0
+        self._fetch_in_group += 1
+        fetch_cycle = self._fetch_cycle
+
+        # ---- dispatch (ROB / LSQ / issue-queue availability) ----
+        dispatch = fetch_cycle + _FRONT_END_DEPTH
+        if len(self._rob_commits) == cfg.rob_size:
+            dispatch = max(dispatch, self._rob_commits[0] + 1)
+        if instr.op.is_memory and len(self._lsq_commits) == cfg.lsq_size:
+            dispatch = max(dispatch, self._lsq_commits[0] + 1)
+        issue_ring = self._fp_issues if instr.op.is_fp else self._int_issues
+        if len(issue_ring) == issue_ring.maxlen:
+            dispatch = max(dispatch, issue_ring[0] + 1)
+
+        # ---- operand readiness ----
+        ready = dispatch + 1
+        if instr.src1 >= 0:
+            ready = max(ready, self._rename.get(instr.src1, 0))
+        if instr.src2 >= 0:
+            ready = max(ready, self._rename.get(instr.src2, 0))
+
+        # ---- issue (structural hazards) ----
+        issue = self._find_issue_cycle(ready, instr.op)
+        issue_ring.append(issue)
+
+        # ---- execute ----
+        if instr.is_load:
+            latency = self.memory.load_latency(instr.address)
+        else:
+            latency = EXECUTION_LATENCY[instr.op]
+        complete = issue + latency
+
+        if instr.writes_register:
+            self._rename[instr.dst] = complete
+
+        # ---- branch resolution ----
+        if instr.is_branch:
+            mispredicted = self.predictor.update(instr.pc, instr.taken, instr.target)
+            if mispredicted:
+                self._redirect_until = (
+                    complete + self.predictor.config.mispredict_penalty_cycles
+                )
+
+        # ---- in-order commit ----
+        commit = max(complete + 1, self._last_commit_cycle, commit_gate)
+        if commit == self._last_commit_cycle:
+            if self._commits_in_cycle >= cfg.commit_width:
+                commit += 1
+                self._commits_in_cycle = 1
+            else:
+                self._commits_in_cycle += 1
+        else:
+            self._commits_in_cycle = 1
+        self._last_commit_cycle = commit
+
+        self._rob_commits.append(commit)
+        if instr.op.is_memory:
+            self._lsq_commits.append(commit)
+            if instr.is_store:
+                self.memory.store_commit(instr.address)
+
+        self._scheduled += 1
+        self._last_commit = commit
+        if self._scheduled % _PRUNE_PERIOD == 0:
+            self._prune(issue)
+        return commit
+
+    # ------------------------------------------------------------------
+    def _find_issue_cycle(self, earliest: int, op: OpClass) -> int:
+        pool = (
+            OpClass.IALU
+            if op in (OpClass.LOAD, OpClass.STORE, OpClass.BRANCH)
+            else op
+        )
+        cap = self._fu_capacity[pool]
+        width = self.config.dispatch_width
+        cycle = earliest
+        while True:
+            if (
+                self._issue_usage.get(cycle, 0) < width
+                and self._fu_usage.get((cycle, pool), 0) < cap
+            ):
+                self._issue_usage[cycle] = self._issue_usage.get(cycle, 0) + 1
+                key = (cycle, pool)
+                self._fu_usage[key] = self._fu_usage.get(key, 0) + 1
+                return cycle
+            cycle += 1
+
+    def _prune(self, horizon: int) -> None:
+        floor = horizon - 4 * self.config.rob_size
+        self._issue_usage = {
+            c: n for c, n in self._issue_usage.items() if c >= floor
+        }
+        self._fu_usage = {
+            (c, p): n for (c, p), n in self._fu_usage.items() if c >= floor
+        }
+
+    # ------------------------------------------------------------------
+    def run(self, trace: list[Instruction], warmup: int = 0) -> LeadingRunResult:
+        """Schedule a whole trace (no RMT backpressure) and summarise.
+
+        The first ``warmup`` instructions train the caches and predictor but
+        are excluded from the reported statistics (SimPoint-style
+        measurement window).
+        """
+        for instr in trace[:warmup]:
+            self.schedule(instr)
+        if warmup:
+            self.start_measurement()
+        for instr in trace[warmup:]:
+            self.schedule(instr)
+        return self.result(len(trace) - warmup)
+
+    def start_measurement(self) -> None:
+        """Snapshot counters so subsequent results report deltas only."""
+        self._baseline = {
+            "cycles": self._last_commit,
+            "l2_misses": self.memory.l2.misses,
+            "l1d_hits": self.memory.l1d.hits,
+            "l1d_misses": self.memory.l1d.misses,
+            "bpred_lookups": self.predictor.lookups,
+            "bpred_misses": self.predictor.mispredicts,
+        }
+
+    def result(self, instructions: int) -> LeadingRunResult:
+        """Summary over the measurement window (everything scheduled since
+        :meth:`start_measurement`, or since construction)."""
+        base = getattr(self, "_baseline", None) or {
+            "cycles": 0, "l2_misses": 0, "l1d_hits": 0,
+            "l1d_misses": 0, "bpred_lookups": 0, "bpred_misses": 0,
+        }
+        cycles = max(1, self._last_commit - base["cycles"])
+        l1d_hits = self.memory.l1d.hits - base["l1d_hits"]
+        l1d_misses = self.memory.l1d.misses - base["l1d_misses"]
+        l1d_total = l1d_hits + l1d_misses
+        lookups = self.predictor.lookups - base["bpred_lookups"]
+        mispredicts = self.predictor.mispredicts - base["bpred_misses"]
+        l2_misses = self.memory.l2.misses - base["l2_misses"]
+        return LeadingRunResult(
+            instructions=instructions,
+            cycles=cycles,
+            ipc=instructions / cycles,
+            branch_mispredict_rate=mispredicts / lookups if lookups else 0.0,
+            l1d_miss_rate=l1d_misses / l1d_total if l1d_total else 0.0,
+            l2_misses_per_10k=l2_misses * 10_000.0 / max(1, instructions),
+            average_l2_hit_latency=self.memory.average_l2_hit_latency,
+            op_counts=dict(self._op_counts),
+        )
+
+    @property
+    def current_cycle(self) -> int:
+        """The commit cycle of the most recently scheduled instruction."""
+        return self._last_commit

@@ -1,0 +1,88 @@
+"""The leading core's memory hierarchy: L1 I/D caches over the NUCA L2.
+
+The trailing checker core never accesses the data hierarchy — it receives
+load values through the LVQ (Section 2) — so this hierarchy belongs to the
+leading core alone.  Stores are committed to the store buffer and written
+to the hierarchy only after checking (write-through here, since the tag-only
+caches carry no data).
+"""
+
+from __future__ import annotations
+
+from repro.cache.nuca import NucaCache, bank_hops_for_model
+from repro.cache.sram import SetAssociativeCache
+from repro.common.config import ChipModel, LeadingCoreConfig, NucaConfig
+
+__all__ = ["MemoryHierarchy"]
+
+
+class MemoryHierarchy:
+    """L1 instruction + data caches backed by the shared NUCA L2."""
+
+    def __init__(
+        self,
+        core_config: LeadingCoreConfig,
+        nuca_config: NucaConfig,
+        chip: ChipModel = ChipModel.TWO_D_A,
+    ):
+        self.core_config = core_config
+        self.chip = chip
+        self.l1i = SetAssociativeCache(core_config.l1_icache, name="l1i")
+        self.l1d = SetAssociativeCache(core_config.l1_dcache, name="l1d")
+        self.l2 = NucaCache(
+            nuca_config,
+            bank_hops=bank_hops_for_model(chip),
+            memory_latency_cycles=core_config.memory_latency_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    def fetch_latency(self, pc: int) -> int:
+        """Instruction fetch latency in cycles for the line holding ``pc``."""
+        if self.l1i.access(pc):
+            return self.core_config.l1_icache.hit_latency_cycles
+        result = self.l2.access(pc | (1 << 40))  # I-space disjoint from D-space
+        return self.core_config.l1_icache.hit_latency_cycles + result.latency_cycles
+
+    def load_latency(self, address: int) -> int:
+        """Data load latency in cycles (L1 hit, or L1 miss + L2 access)."""
+        if self.l1d.access(address):
+            return self.core_config.l1_dcache.hit_latency_cycles
+        result = self.l2.access(address)
+        return self.core_config.l1_dcache.hit_latency_cycles + result.latency_cycles
+
+    def store_commit(self, address: int) -> None:
+        """Install a committed (checked) store into the hierarchy."""
+        self.l1d.access(address)
+
+    # ------------------------------------------------------------------
+    def preload_profile(self, profile) -> None:
+        """Pre-install a workload's resident working set (SimPoint-style warm
+        state): hot region into L1D+L2, warm and xl regions into L2, code
+        into L1I.  Install order (xl, warm, hot) leaves the hottest lines in
+        the LRU positions that survive when capacity is insufficient.
+        """
+        line = self.l1d.geometry.line_bytes
+        for base, size in (
+            (0x2000_0000, profile.xl_bytes if profile.p_xl > 0 else 0),
+            (0x1000_0000, profile.warm_bytes),
+            (0x0000_0000, profile.hot_bytes),
+        ):
+            for addr in range(base, base + size, line):
+                self.l2.access(addr)
+        for addr in range(0, profile.hot_bytes, line):
+            self.l1d.access(addr)
+        for pc in range(0, profile.code_bytes, self.l1i.geometry.line_bytes):
+            self.l1i.access(pc)
+        # Preloading must not pollute the measured statistics.
+        self.l1i.stats.reset()
+        self.l1d.stats.reset()
+        self.l2.stats.reset()
+
+    def l2_misses_per_10k(self, instructions: int) -> float:
+        """L2 misses per 10k instructions (the Section 3.3 metric)."""
+        return self.l2.misses_per_10k(instructions)
+
+    @property
+    def average_l2_hit_latency(self) -> float:
+        """Mean L2 hit latency observed so far (cycles)."""
+        return self.l2.average_hit_latency

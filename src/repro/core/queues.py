@@ -1,0 +1,158 @@
+"""Inter-core FIFO queues of the RMT architecture (Figure 1).
+
+* **RVQ** — register value queue: committed results (and, with register
+  value prediction, the input operands) flow leading → trailing.
+* **LVQ** — load value queue: committed load values flow leading →
+  trailing so the trailer never reads the data cache.
+* **BOQ** — branch outcome queue: branch outcomes used by the trailer as
+  (unprotected) branch prediction hints.
+* **StB** — store buffer: the leading core commits stores here; entries
+  drain to memory only after the trailing core has checked them.
+
+All queues are bounded; pushing a full queue or popping an empty one raises
+(the timing simulators model the corresponding stalls instead of raising).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Generic, TypeVar
+
+from repro.common.errors import QueueEmptyError, QueueFullError
+
+__all__ = [
+    "BoundedQueue",
+    "RegisterValueEntry",
+    "LoadValueEntry",
+    "BranchOutcomeEntry",
+    "StoreBufferEntry",
+    "StoreBuffer",
+]
+
+T = TypeVar("T")
+
+
+class BoundedQueue(Generic[T]):
+    """A bounded FIFO with occupancy accounting."""
+
+    def __init__(self, capacity: int, name: str = "queue"):
+        if capacity <= 0:
+            raise ValueError(f"{name}: capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[T] = deque()
+        self.total_pushes = 0
+
+    def push(self, item: T) -> None:
+        """Append an item; raises :class:`QueueFullError` if full."""
+        if self.is_full:
+            raise QueueFullError(f"{self.name} is full (capacity {self.capacity})")
+        self._items.append(item)
+        self.total_pushes += 1
+
+    def pop(self) -> T:
+        """Remove and return the oldest item; raises if empty."""
+        if not self._items:
+            raise QueueEmptyError(f"{self.name} is empty")
+        return self._items.popleft()
+
+    def peek(self) -> T:
+        """Return (without removing) the oldest item; raises if empty."""
+        if not self._items:
+            raise QueueEmptyError(f"{self.name} is empty")
+        return self._items[0]
+
+    @property
+    def occupancy(self) -> int:
+        """Number of items currently queued."""
+        return len(self._items)
+
+    @property
+    def occupancy_fraction(self) -> float:
+        """Occupancy as a fraction of capacity."""
+        return len(self._items) / self.capacity
+
+    @property
+    def is_full(self) -> bool:
+        """True when no more items can be pushed."""
+        return len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no items are queued."""
+        return not self._items
+
+    def clear(self) -> None:
+        """Drop all items (recovery flush)."""
+        self._items.clear()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+
+@dataclass(frozen=True)
+class RegisterValueEntry:
+    """One RVQ entry: the committed result plus the input operands (RVP)."""
+
+    seq: int
+    result: int
+    operand1: int
+    operand2: int
+
+
+@dataclass(frozen=True)
+class LoadValueEntry:
+    """One LVQ entry: the value a committed load observed."""
+
+    seq: int
+    value: int
+
+
+@dataclass(frozen=True)
+class BranchOutcomeEntry:
+    """One BOQ entry: outcome and target of a committed branch."""
+
+    seq: int
+    taken: bool
+    target: int
+
+
+@dataclass(frozen=True)
+class StoreBufferEntry:
+    """One StB entry: a store awaiting verification before memory commit."""
+
+    seq: int
+    address: int
+    value: int
+
+
+class StoreBuffer(BoundedQueue[StoreBufferEntry]):
+    """The leading core's store buffer.
+
+    The leading core pushes committed stores; the trailing core supplies its
+    own store values for comparison, and only verified entries drain to
+    memory.
+    """
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity, name="StB")
+        self.drained: list[StoreBufferEntry] = []
+        self.mismatches = 0
+
+    def verify_and_drain(self, trailing_value: int) -> bool:
+        """Compare the oldest entry against the trailer's value and drain it.
+
+        Returns True if the values agreed (the store is released to memory);
+        on disagreement the entry is dropped and counted — recovery will
+        re-execute the store.
+        """
+        entry = self.pop()
+        if entry.value == trailing_value:
+            self.drained.append(entry)
+            return True
+        self.mismatches += 1
+        return False

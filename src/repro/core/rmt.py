@@ -1,0 +1,211 @@
+"""RMT co-simulation: leading core + trailing checker + DFS, in time.
+
+The two cores execute the same dynamic instruction stream separated by a
+slack (Section 2).  The leading core commits into the RVQ/LVQ/BOQ/StB; the
+trailing core consumes entries at its own (DFS-scaled) frequency; when any
+queue fills, the leading core's commit stalls (backpressure).  The DFS
+controller samples RVQ occupancy every interval and adjusts the trailing
+frequency, producing the residency histogram of Figure 7.
+
+All four bounded queues gate the leading core exactly as the sized
+structures of Section 2.1 would (200-entry RVQ, 80-entry LVQ, 40-entry BOQ,
+40-entry StB).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.config import CheckerCoreConfig, LeadingCoreConfig
+from repro.core.branch import BranchPredictor
+from repro.core.checker import InOrderCheckerTiming
+from repro.core.dfs import DfsController
+from repro.core.leading import LeadingCoreTiming, LeadingRunResult
+from repro.core.memory import MemoryHierarchy
+from repro.isa.instruction import Instruction
+
+__all__ = ["RmtSimulator", "RmtTimingResult"]
+
+
+@dataclass
+class RmtTimingResult:
+    """Timing outcome of an RMT co-simulation."""
+
+    leading: LeadingRunResult
+    frequency_residency: dict[float, float]
+    mean_frequency_fraction: float
+    modal_frequency_fraction: float
+    mean_rvq_occupancy_fraction: float
+    backpressure_commits: int
+    checker_instructions: int
+
+    def mean_checker_frequency_hz(self, peak_hz: float) -> float:
+        """Average absolute checker frequency for a given peak."""
+        return self.mean_frequency_fraction * peak_hz
+
+    def checker_energy_ratio(self, leakage_fraction: float = 0.25) -> float:
+        """Checker energy relative to running pinned at peak frequency.
+
+        DFS scales the dynamic share linearly with frequency while leakage
+        persists — this is the power saving Section 2.1's throttling buys.
+        """
+        if not 0.0 <= leakage_fraction <= 1.0:
+            raise ValueError("leakage fraction must be in [0, 1]")
+        dynamic = 1.0 - leakage_fraction
+        return leakage_fraction + dynamic * self.mean_frequency_fraction
+
+
+class RmtSimulator:
+    """Co-simulates the reliable processor's two cores over one trace."""
+
+    def __init__(
+        self,
+        leading_config: LeadingCoreConfig,
+        checker_config: CheckerCoreConfig,
+        memory: MemoryHierarchy,
+        predictor: BranchPredictor | None = None,
+        transfer_latency_cycles: int = 1,
+        checker_peak_ratio: float = 1.0,
+    ):
+        """``transfer_latency_cycles`` models the inter-core interconnect
+        (≈1 cycle over 3D vias, ≈4 cycles over 2D global wires).
+
+        ``checker_peak_ratio`` caps the checker's peak frequency as a
+        fraction of the leading core's — e.g. 0.7 for the 1.4 GHz ceiling of
+        a 90 nm checker under a 2 GHz leading core (Section 4).
+        """
+        self.leading_config = leading_config
+        self.checker_config = checker_config
+        self.leading = LeadingCoreTiming(leading_config, memory, predictor)
+        levels = checker_config.dfs.levels()
+        max_index = max(
+            i for i, lvl in enumerate(levels) if lvl <= checker_peak_ratio + 1e-9
+        )
+        self.dfs = DfsController(checker_config.dfs, max_level_index=max_index)
+        self.checker = InOrderCheckerTiming(
+            checker_config, frequency_ratio=self.dfs.level
+        )
+        self.transfer_latency = transfer_latency_cycles
+
+        qc = checker_config.queues
+        self._rvq_capacity = qc.rvq_entries
+        self._lvq_capacity = qc.lvq_entries
+        self._boq_capacity = qc.boq_entries
+        self._stb_capacity = qc.stb_entries
+
+        self._commit_times: list[int] = []
+        self._consume_times: list[float] = []
+        self._trace: list[Instruction] = []
+        self._next_consume = 0
+        self._load_indices: list[int] = []
+        self._store_indices: list[int] = []
+        self._branch_indices: list[int] = []
+        self._next_boundary = float(checker_config.dfs.interval_cycles)
+        self._boundary_commit_ptr = 0
+        self._boundary_consume_ptr = 0
+        self._occupancy_samples: list[float] = []
+        self.backpressure_commits = 0
+
+    # ------------------------------------------------------------------
+    def run(self, trace: list[Instruction], warmup: int = 0) -> RmtTimingResult:
+        """Co-simulate the full trace and return the timing summary.
+
+        The first ``warmup`` instructions flow through both cores but are
+        excluded from the reported leading-core statistics.
+        """
+        self._trace = trace
+        for i, instr in enumerate(trace):
+            if i == warmup and warmup:
+                self.leading.start_measurement()
+            gate = self._commit_gate(i, instr)
+            commit = self.leading.schedule(instr, commit_gate=gate)
+            self._commit_times.append(commit)
+            if instr.is_load:
+                self._load_indices.append(i)
+            elif instr.is_store:
+                self._store_indices.append(i)
+            elif instr.is_branch:
+                self._branch_indices.append(i)
+        self._consume_until(len(trace) - 1)
+        return self._result(len(trace) - warmup)
+
+    # ------------------------------------------------------------------
+    def _commit_gate(self, i: int, instr: Instruction) -> int:
+        """Earliest commit cycle for instruction ``i`` given queue space."""
+        gate = 0.0
+        needed = -1
+        # RVQ: every instruction occupies one entry.
+        if i >= self._rvq_capacity:
+            needed = max(needed, i - self._rvq_capacity)
+        # LVQ / BOQ / StB: per-class occupancy.
+        if instr.is_load and len(self._load_indices) >= self._lvq_capacity:
+            needed = max(
+                needed, self._load_indices[len(self._load_indices) - self._lvq_capacity]
+            )
+        elif instr.is_store and len(self._store_indices) >= self._stb_capacity:
+            needed = max(
+                needed,
+                self._store_indices[len(self._store_indices) - self._stb_capacity],
+            )
+        elif instr.is_branch and len(self._branch_indices) >= self._boq_capacity:
+            needed = max(
+                needed,
+                self._branch_indices[len(self._branch_indices) - self._boq_capacity],
+            )
+        if needed < 0:
+            return 0
+        self._consume_until(needed)
+        gate = self._consume_times[needed]
+        gate_cycle = int(math.ceil(gate))
+        if gate_cycle > self.leading.current_cycle:
+            self.backpressure_commits += 1
+        return gate_cycle
+
+    def _consume_until(self, index: int) -> None:
+        """Run the checker over all instructions up to ``index`` inclusive."""
+        while self._next_consume <= index:
+            k = self._next_consume
+            available = self._commit_times[k] + self.transfer_latency
+            self._process_boundaries(available)
+            consume_time = self.checker.consume(self._trace[k], available)
+            self._consume_times.append(consume_time)
+            self._next_consume += 1
+
+    def _process_boundaries(self, up_to_time: float) -> None:
+        """Apply DFS interval boundaries that have passed."""
+        while self._next_boundary <= up_to_time:
+            b = self._next_boundary
+            while (
+                self._boundary_commit_ptr < len(self._commit_times)
+                and self._commit_times[self._boundary_commit_ptr] <= b
+            ):
+                self._boundary_commit_ptr += 1
+            while (
+                self._boundary_consume_ptr < len(self._consume_times)
+                and self._consume_times[self._boundary_consume_ptr] <= b
+            ):
+                self._boundary_consume_ptr += 1
+            occupancy = self._boundary_commit_ptr - self._boundary_consume_ptr
+            fraction = max(0.0, min(1.0, occupancy / self._rvq_capacity))
+            self._occupancy_samples.append(fraction)
+            ratio = self.dfs.update(fraction)
+            self.checker.set_frequency_ratio(ratio)
+            self._next_boundary += self.checker_config.dfs.interval_cycles
+
+    # ------------------------------------------------------------------
+    def _result(self, instructions: int) -> RmtTimingResult:
+        mean_occ = (
+            sum(self._occupancy_samples) / len(self._occupancy_samples)
+            if self._occupancy_samples
+            else 0.0
+        )
+        return RmtTimingResult(
+            leading=self.leading.result(instructions),
+            frequency_residency=self.dfs.residency_fractions(),
+            mean_frequency_fraction=self.dfs.mean_frequency_fraction(),
+            modal_frequency_fraction=self.dfs.modal_frequency_fraction(),
+            mean_rvq_occupancy_fraction=mean_occ,
+            backpressure_commits=self.backpressure_commits,
+            checker_instructions=self.checker.consumed,
+        )

@@ -1,0 +1,117 @@
+"""Triple modular redundancy: the paper's fallback for weak checkers.
+
+Section 4 observes that if the checker is *equally* likely to err as the
+leading core, recovery needs an ECC-protected checker register file "and
+possibly even a third core to implement triple modular redundancy".  This
+module implements that third configuration at the value level: three
+redundant executions vote per instruction, and the majority wins without
+any rollback.
+
+It exists to quantify the trade the paper is making: TMR recovers from
+any single-core error with zero recovery latency, but costs a third
+execution's power — which is exactly why the paper prefers one *more
+reliable* (older-process, throttled) checker instead.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.faults import FaultInjector, FaultSite, apply_bit_flips
+from repro.isa.instruction import Instruction, compute_result, load_value_for_address
+
+__all__ = ["TmrResult", "TmrSystem"]
+
+_NUM_REGS = 64
+_MASK64 = (1 << 64) - 1
+
+
+def _initial_regfile() -> list[int]:
+    return [(0x243F6A8885A308D3 * (i + 1)) & _MASK64 for i in range(_NUM_REGS)]
+
+
+@dataclass
+class TmrResult:
+    """Outcome of a TMR run."""
+
+    instructions: int = 0
+    votes_unanimous: int = 0
+    votes_majority: int = 0          # one replica outvoted (error masked)
+    votes_split: int = 0             # no majority: unrecoverable by voting
+    drained_stores: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def masked_errors(self) -> int:
+        """Errors silently outvoted — TMR's zero-latency 'recovery'."""
+        return self.votes_majority
+
+    @property
+    def store_stream(self) -> list[tuple[int, int]]:
+        """(address, value) pairs committed by the voter."""
+        return self.drained_stores
+
+
+class TmrSystem:
+    """Three redundant cores with per-instruction majority voting.
+
+    Each replica executes every instruction against its own register
+    file; an optional fault injector corrupts replica results (replica 0
+    uses the injector's 'leading' rates, replicas 1 and 2 the 'trailing'
+    rates).  The voted result becomes every replica's architectural state,
+    so a single corrupted replica is healed at the next write.
+    """
+
+    def __init__(self, injector: FaultInjector | None = None):
+        self.injector = injector
+        self.regfiles = [_initial_regfile() for _ in range(3)]
+        self.result = TmrResult()
+
+    # ------------------------------------------------------------------
+    def run(self, trace: list[Instruction]) -> TmrResult:
+        """Execute and vote the whole trace."""
+        for instr in trace:
+            self._step(instr)
+        return self.result
+
+    def _replica_result(self, replica: int, instr: Instruction) -> int:
+        regs = self.regfiles[replica]
+        op1 = regs[instr.src1] if instr.src1 >= 0 else 0
+        op2 = regs[instr.src2] if instr.src2 >= 0 else 0
+        if instr.is_load:
+            return load_value_for_address(instr.address)
+        if instr.is_store:
+            return op1
+        if instr.is_branch:
+            return 0
+        return compute_result(instr.op, op1, op2)
+
+    def _step(self, instr: Instruction) -> None:
+        self.result.instructions += 1
+        values = []
+        for replica in range(3):
+            value = self._replica_result(replica, instr)
+            if self.injector is not None:
+                rates = "leading" if replica == 0 else "trailing"
+                for fault in self.injector.faults_for(instr.seq, rates):
+                    # Any datapath fault manifests as a corrupted result.
+                    if fault.site is not FaultSite.TRAILING_REGFILE:
+                        value = apply_bit_flips(value, fault.bits)
+            values.append(value)
+
+        counts = Counter(values)
+        winner, support = counts.most_common(1)[0]
+        if support == 3:
+            self.result.votes_unanimous += 1
+        elif support == 2:
+            self.result.votes_majority += 1
+        else:
+            # No majority: fall back to replica 0 and count the failure.
+            self.result.votes_split += 1
+            winner = values[0]
+
+        if instr.writes_register:
+            for regs in self.regfiles:
+                regs[instr.dst] = winner
+        if instr.is_store:
+            self.result.drained_stores.append((instr.address, winner))

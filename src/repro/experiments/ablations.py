@@ -1,0 +1,247 @@
+"""Ablations of the paper's design choices.
+
+DESIGN.md calls out the load-bearing mechanisms of the checker design;
+each ablation here removes or perturbs one and measures what it buys:
+
+* **register value prediction** — without it the in-order checker stalls
+  on dependences and must run much faster to keep up (Section 2.1's
+  motivation for RVP);
+* **slack / queue sizing** — smaller RVQs stall the leader;
+* **DFS interval and thresholds** — control-loop sensitivity;
+* **inter-core transfer latency** — the 3D via advantage vs routed 2D
+  wires on the co-simulation;
+* **hard-error failover** — the checker serving as the leading core after
+  a hard fault (Section 2's footnote 1), at in-order performance;
+* **TMR vs RMT** — the third-core alternative Section 4 mentions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.common.config import (
+    CheckerCoreConfig,
+    ChipModel,
+    DfsConfig,
+    LeadingCoreConfig,
+    QueueConfig,
+)
+from repro.core.faults import FaultInjector, FaultRates
+from repro.core.functional import FunctionalRmt
+from repro.core.tmr import TmrSystem
+from repro.experiments.runner import (
+    DEFAULT_WINDOW,
+    SimulationWindow,
+    simulate_leading,
+    simulate_rmt,
+)
+from repro.isa.trace import generate_trace
+from repro.workloads.profiles import WorkloadProfile, get_profile
+
+__all__ = [
+    "rvp_ablation",
+    "slack_sweep",
+    "dfs_sensitivity",
+    "transfer_latency_ablation",
+    "hard_error_failover",
+    "interrupt_cost",
+    "tmr_comparison",
+]
+
+
+def rvp_ablation(
+    benchmark: str = "mcf",
+    window: SimulationWindow = DEFAULT_WINDOW,
+    seed: int = 42,
+) -> dict[str, float]:
+    """Checker frequency needed with and without register value prediction.
+
+    Without RVP the trailer stalls on dependences, so DFS must hold it at
+    a higher frequency to sustain the same slack (costing dynamic power).
+    """
+    out = {}
+    for use_rvp in (True, False):
+        checker = CheckerCoreConfig(uses_register_value_prediction=use_rvp)
+        result = simulate_rmt(
+            benchmark, ChipModel.THREE_D_2A, window=window, seed=seed,
+            checker=checker,
+        )
+        key = "with_rvp" if use_rvp else "without_rvp"
+        out[f"{key}_mean_frequency"] = result.mean_frequency_fraction
+        out[f"{key}_leading_ipc"] = result.leading.ipc
+    return out
+
+
+def slack_sweep(
+    benchmark: str = "gzip",
+    slacks: tuple[int, ...] = (25, 50, 100, 200, 400),
+    window: SimulationWindow = DEFAULT_WINDOW,
+    seed: int = 42,
+) -> list[dict[str, float]]:
+    """Leading-core impact of the RVQ/slack size (Section 2.1 uses 200)."""
+    rows = []
+    for slack in slacks:
+        queues = QueueConfig(
+            slack_target=slack,
+            rvq_entries=slack,
+            lvq_entries=max(8, int(slack * 0.4)),
+            boq_entries=max(8, slack // 5),
+            stb_entries=max(8, slack // 5),
+        )
+        result = simulate_rmt(
+            benchmark, ChipModel.THREE_D_2A, window=window, seed=seed,
+            checker=CheckerCoreConfig(queues=queues),
+        )
+        rows.append(
+            {
+                "slack": slack,
+                "leading_ipc": result.leading.ipc,
+                "backpressure": result.backpressure_commits,
+                "mean_frequency": result.mean_frequency_fraction,
+            }
+        )
+    return rows
+
+
+def dfs_sensitivity(
+    benchmark: str = "gzip",
+    intervals: tuple[int, ...] = (250, 1000, 4000),
+    window: SimulationWindow = DEFAULT_WINDOW,
+    seed: int = 42,
+) -> list[dict[str, float]]:
+    """DFS interval sensitivity: reaction speed vs stability."""
+    rows = []
+    for interval in intervals:
+        checker = CheckerCoreConfig(dfs=DfsConfig(interval_cycles=interval))
+        result = simulate_rmt(
+            benchmark, ChipModel.THREE_D_2A, window=window, seed=seed,
+            checker=checker,
+        )
+        rows.append(
+            {
+                "interval_cycles": interval,
+                "mean_frequency": result.mean_frequency_fraction,
+                "leading_ipc": result.leading.ipc,
+                "backpressure": result.backpressure_commits,
+            }
+        )
+    return rows
+
+
+def transfer_latency_ablation(
+    benchmark: str = "gzip",
+    window: SimulationWindow = DEFAULT_WINDOW,
+    seed: int = 42,
+) -> dict[str, float]:
+    """3D vias (1 cycle) vs routed 2D wires (4 cycles) vs a slow 10-cycle
+    interconnect: the co-simulation effect is small (slack absorbs it),
+    which is why the 3D win is power/wiring, not cycles."""
+    out = {}
+    for chip, label in (
+        (ChipModel.THREE_D_2A, "via_1_cycle"),
+        (ChipModel.TWO_D_2A, "wire_4_cycles"),
+    ):
+        result = simulate_rmt(benchmark, chip, window=window, seed=seed)
+        out[f"{label}_leading_ipc"] = result.leading.ipc
+        out[f"{label}_mean_frequency"] = result.mean_frequency_fraction
+    return out
+
+
+def hard_error_failover(
+    benchmark: str = "gzip",
+    window: SimulationWindow = DEFAULT_WINDOW,
+    seed: int = 42,
+) -> dict[str, float]:
+    """Performance when the checker must serve as the leading core.
+
+    Section 2: "a hard error in the leading core can also be tolerated,
+    although at a performance penalty" — the full-fledged in-order checker
+    takes over.  Approximated by a width-4 core with a minimal window and
+    in-order-like issue (tiny ROB), running the same workload.
+    """
+    ooo = simulate_leading(benchmark, ChipModel.TWO_D_A, window=window, seed=seed)
+    in_order_cfg = LeadingCoreConfig(rob_size=8, lsq_size=8)
+    in_order = simulate_leading(
+        benchmark, ChipModel.TWO_D_A, window=window, seed=seed,
+        leading=in_order_cfg,
+    )
+    return {
+        "out_of_order_ipc": ooo.ipc,
+        "failover_in_order_ipc": in_order.ipc,
+        "slowdown": 1.0 - in_order.ipc / ooo.ipc,
+    }
+
+
+def interrupt_cost(
+    benchmark: str = "gzip",
+    window: SimulationWindow = DEFAULT_WINDOW,
+    seed: int = 42,
+    interrupt_rate_per_million: float = 100.0,
+) -> dict[str, float]:
+    """Cost of servicing external interrupts (Section 2).
+
+    "When external interrupts or exceptions are raised, the leading thread
+    must wait for the trailing thread to catch up before servicing the
+    interrupt" — each interrupt therefore stalls the leader for the time
+    the checker needs to drain the current slack at its operating
+    frequency.  Returns the per-interrupt drain time and the throughput
+    overhead at a given interrupt rate.
+    """
+    result = simulate_rmt(benchmark, ChipModel.THREE_D_2A, window=window, seed=seed)
+    slack = result.mean_rvq_occupancy_fraction * QueueConfig().rvq_entries
+    # The checker consumes roughly issue-limited instructions per trailing
+    # cycle; convert to leading cycles through its mean frequency.
+    checker_rate = result.checker_instructions / max(
+        1.0, result.leading.cycles / max(1e-9, result.mean_frequency_fraction)
+    )
+    drain_cycles = slack / max(0.1, checker_rate * result.mean_frequency_fraction)
+    per_instruction = interrupt_rate_per_million / 1e6
+    base_cpi = 1.0 / result.leading.ipc
+    overhead = per_instruction * drain_cycles / base_cpi
+    return {
+        "mean_slack_instructions": slack,
+        "drain_cycles_per_interrupt": drain_cycles,
+        "throughput_overhead": overhead,
+    }
+
+
+def tmr_comparison(
+    benchmark: str = "vpr",
+    instructions: int = 20_000,
+    soft_error_rate: float = 1e-3,
+    seed: int = 9,
+) -> dict[str, float]:
+    """RMT-with-recovery vs TMR-with-voting under the same fault pressure.
+
+    TMR masks every single-replica error with zero recovery events, at
+    the cost of a third execution; RMT detects and rolls back.  Both must
+    end architecturally safe.
+    """
+    profile = get_profile(benchmark)
+    trace = generate_trace(profile, instructions, seed=seed)
+    golden = FunctionalRmt().run(trace).store_stream
+
+    rmt = FunctionalRmt(
+        injector=FaultInjector(
+            leading=FaultRates(soft_error=soft_error_rate),
+            trailing=FaultRates(soft_error=soft_error_rate / 2),
+            seed=seed,
+        )
+    ).run(trace)
+    tmr = TmrSystem(
+        injector=FaultInjector(
+            leading=FaultRates(soft_error=soft_error_rate),
+            trailing=FaultRates(soft_error=soft_error_rate / 2),
+            seed=seed,
+        )
+    ).run(trace)
+    return {
+        "rmt_recoveries": rmt.recoveries,
+        "rmt_safe": float(rmt.store_stream == golden),
+        "tmr_masked_errors": tmr.masked_errors,
+        "tmr_split_votes": tmr.votes_split,
+        "tmr_safe": float(tmr.store_stream == golden),
+        "tmr_execution_overhead": 2.0,   # two extra executions
+        "rmt_execution_overhead": 1.0,   # one (throttled) extra execution
+    }

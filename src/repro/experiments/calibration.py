@@ -1,0 +1,89 @@
+"""Workload calibration audit: profiles vs simulated behaviour.
+
+The synthetic benchmarks stand in for SPEC2k; this driver quantifies how
+close each profile's simulated behaviour lands to its calibration targets
+(IPC on the 2d-a baseline, suite-level miss statistics), so drift is
+caught when models change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import ChipModel
+from repro.experiments.runner import (
+    DEFAULT_WINDOW,
+    SimulationWindow,
+    simulate_leading,
+)
+from repro.workloads.profiles import WorkloadProfile, spec2k_suite
+
+__all__ = ["CalibrationRow", "calibration_audit", "suite_summary"]
+
+
+@dataclass
+class CalibrationRow:
+    """One benchmark's simulated-vs-target comparison."""
+
+    benchmark: str
+    target_ipc: float
+    simulated_ipc: float
+    branch_mispredict_rate: float
+    l1d_miss_rate: float
+    l2_misses_per_10k: float
+
+    @property
+    def ipc_error(self) -> float:
+        """Relative IPC error vs the calibration target."""
+        return (self.simulated_ipc - self.target_ipc) / self.target_ipc
+
+
+def calibration_audit(
+    window: SimulationWindow = DEFAULT_WINDOW,
+    seed: int = 42,
+    benchmarks: list[WorkloadProfile] | None = None,
+) -> list[CalibrationRow]:
+    """Simulate every profile on the 2d-a baseline and compare to targets."""
+    benchmarks = benchmarks if benchmarks is not None else spec2k_suite()
+    rows = []
+    for profile in benchmarks:
+        run = simulate_leading(profile, ChipModel.TWO_D_A, window=window, seed=seed)
+        rows.append(
+            CalibrationRow(
+                benchmark=profile.name,
+                target_ipc=profile.target_ipc,
+                simulated_ipc=run.ipc,
+                branch_mispredict_rate=run.branch_mispredict_rate,
+                l1d_miss_rate=run.l1d_miss_rate,
+                l2_misses_per_10k=run.l2_misses_per_10k,
+            )
+        )
+    return rows
+
+
+def suite_summary(rows: list[CalibrationRow]) -> dict[str, float]:
+    """Aggregate calibration health metrics."""
+    n = len(rows)
+    return {
+        "mean_ipc": sum(r.simulated_ipc for r in rows) / n,
+        "mean_abs_ipc_error": sum(abs(r.ipc_error) for r in rows) / n,
+        "mean_l2_misses_per_10k": sum(r.l2_misses_per_10k for r in rows) / n,
+        "mean_mispredict_rate": sum(r.branch_mispredict_rate for r in rows) / n,
+        "rank_correlation": _spearman(
+            [r.target_ipc for r in rows], [r.simulated_ipc for r in rows]
+        ),
+    }
+
+
+def _spearman(a: list[float], b: list[float]) -> float:
+    def ranks(xs: list[float]) -> list[float]:
+        order = sorted(range(len(xs)), key=lambda i: xs[i])
+        out = [0.0] * len(xs)
+        for rank, i in enumerate(order):
+            out[i] = float(rank)
+        return out
+
+    ra, rb = ranks(a), ranks(b)
+    n = len(a)
+    d2 = sum((x - y) ** 2 for x, y in zip(ra, rb))
+    return 1.0 - 6.0 * d2 / (n * (n * n - 1))

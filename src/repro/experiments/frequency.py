@@ -1,0 +1,72 @@
+"""Figure 7: the checker's frequency-residency histogram under DFS.
+
+Aggregates the DFS residency of every benchmark's RMT co-simulation into
+one histogram of "percentage of intervals at each normalized frequency";
+the paper's result is a mode at 0.6x the 2 GHz peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import ChipModel
+from repro.experiments.runner import (
+    DEFAULT_WINDOW,
+    SimulationWindow,
+    simulate_rmt,
+)
+from repro.workloads.profiles import WorkloadProfile, spec2k_suite
+
+__all__ = ["Fig7Result", "fig7_frequency_histogram"]
+
+
+@dataclass
+class Fig7Result:
+    """Aggregate frequency residency across the suite."""
+
+    fractions: dict[float, float]       # frequency level -> time fraction
+    per_benchmark_mean: dict[str, float]
+    backpressure_rate: float            # leading commits stalled, per instr
+
+    @property
+    def mode(self) -> float:
+        """The most common frequency level (paper: 0.6)."""
+        return max(self.fractions, key=self.fractions.get)
+
+    @property
+    def mean(self) -> float:
+        """Residency-weighted mean frequency fraction."""
+        total = sum(self.fractions.values())
+        return sum(k * v for k, v in self.fractions.items()) / total
+
+    def mean_frequency_hz(self, peak_hz: float = 2.0e9) -> float:
+        """Mean absolute checker frequency (Section 4: ~1.26 GHz)."""
+        return self.mean * peak_hz
+
+
+def fig7_frequency_histogram(
+    window: SimulationWindow = DEFAULT_WINDOW,
+    chip: ChipModel = ChipModel.THREE_D_2A,
+    seed: int = 42,
+    benchmarks: list[WorkloadProfile] | None = None,
+) -> Fig7Result:
+    """Run the suite through the RMT co-simulation and aggregate DFS state."""
+    benchmarks = benchmarks if benchmarks is not None else spec2k_suite()
+    aggregate: dict[float, float] = {}
+    per_benchmark: dict[str, float] = {}
+    stalls = 0
+    instructions = 0
+    for profile in benchmarks:
+        result = simulate_rmt(profile, chip, window=window, seed=seed)
+        for level, fraction in result.frequency_residency.items():
+            aggregate[level] = aggregate.get(level, 0.0) + fraction
+        per_benchmark[profile.name] = result.mean_frequency_fraction
+        stalls += result.backpressure_commits
+        instructions += result.leading.instructions
+    total = sum(aggregate.values())
+    fractions = {k: v / total for k, v in sorted(aggregate.items())}
+    return Fig7Result(
+        fractions=fractions,
+        per_benchmark_mean=per_benchmark,
+        backpressure_rate=stalls / max(1, instructions),
+    )

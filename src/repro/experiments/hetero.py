@@ -1,0 +1,206 @@
+"""Section 4: the heterogeneous (older-process) checker die.
+
+Quantifies every consequence the paper walks through when the upper die
+moves from 65 nm to 90 nm:
+
+* checker power rises (dynamic ×2.21) while cache leakage falls (×0.40),
+* the same die area holds the larger checker plus only five 1 MB banks,
+* power density of the hot block falls, dropping its temperature,
+* circuit delay grows, capping the checker at 1.4 GHz under a 2 GHz
+  leading core (a small slowdown since the checker needs ~1.26 GHz),
+* soft-error and timing-error susceptibility improve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.cacti import CactiModel, logic_area_scale
+from repro.common.config import ChipModel, ThermalConfig
+from repro.experiments.frequency import fig7_frequency_histogram
+from repro.experiments.runner import (
+    DEFAULT_WINDOW,
+    SimulationWindow,
+    simulate_rmt,
+)
+from repro.experiments.thermal import standard_floorplan
+from repro.floorplan.blocks import CHECKER_CORE_AREA_MM2
+from repro.power.itrs import (
+    dynamic_power_ratio,
+    leakage_power_ratio,
+    relative_gate_delay,
+)
+from repro.reliability.margins import compare_checker_processes
+from repro.thermal.hotspot import ChipThermalModel
+from repro.workloads.profiles import WorkloadProfile, spec2k_suite
+
+__all__ = ["HeteroCheckerResult", "section4_heterogeneous", "checker_power_at_node"]
+
+# Fraction of the checker core's 65 nm power that is leakage; chosen so a
+# 14.5 W checker re-implemented at 90 nm dissipates the paper's 23.7 W.
+CHECKER_LEAKAGE_FRACTION = 0.32
+
+
+def checker_power_at_node(
+    power_65nm_w: float,
+    old_nm: int = 90,
+    frequency_fraction: float = 1.0,
+    leakage_fraction: float = CHECKER_LEAKAGE_FRACTION,
+) -> float:
+    """The checker's power re-implemented at an older node.
+
+    ``frequency_fraction`` scales the dynamic component for DFS-throttled
+    operation (the 90 nm checker never exceeds 0.7x the leading clock).
+    """
+    dynamic = power_65nm_w * (1.0 - leakage_fraction)
+    leakage = power_65nm_w * leakage_fraction
+    return (
+        dynamic * dynamic_power_ratio(old_nm, 65) * frequency_fraction
+        + leakage * leakage_power_ratio(old_nm, 65)
+    )
+
+
+@dataclass
+class HeteroCheckerResult:
+    """Everything Section 4 reports for the 90 nm checker die."""
+
+    checker_power_65nm_w: float
+    checker_power_90nm_w: float
+    upper_cache_banks_65nm: int
+    upper_cache_banks_90nm: int
+    upper_cache_power_65nm_w: float
+    upper_cache_power_90nm_w: float
+    checker_die_delta_w: float          # paper: +6.9 W
+    checker_area_90nm_mm2: float
+    peak_temp_homogeneous_c: float
+    peak_temp_hetero_c: float
+    checker_temp_homogeneous_c: float
+    checker_temp_hetero_c: float
+    peak_frequency_ratio: float         # paper: 0.7 (1.4 GHz of 2 GHz)
+    mean_required_frequency_ghz: float  # paper: ~1.26 GHz
+    leading_slowdown: float             # paper: ~3%
+    bank_access_cycles_65nm: int
+    bank_access_cycles_90nm: int
+    timing_error_rate_65nm: float
+    timing_error_rate_90nm: float
+    soft_error_rate_ratio: float        # 90 nm vs 65 nm per bit
+    # The paper's closing trade (Section 6): temperature increase vs the
+    # 2d-a baseline, or the performance loss under a constant thermal
+    # constraint, for both die choices.
+    temp_increase_homo_c: float = 0.0       # paper: up to 7
+    temp_increase_hetero_c: float = 0.0     # paper: 3
+    constraint_loss_homo: float = 0.0       # paper: 8%
+    constraint_loss_hetero: float = 0.0     # paper: 4%
+
+
+def section4_heterogeneous(
+    checker_power_w: float = 14.5,
+    window: SimulationWindow = DEFAULT_WINDOW,
+    thermal: ThermalConfig | None = None,
+    seed: int = 42,
+    benchmarks: list[WorkloadProfile] | None = None,
+    with_thermal_constraint: bool = True,
+) -> HeteroCheckerResult:
+    """Full Section 4 analysis for the pessimistic (15 W-class) checker."""
+    from repro.experiments.thermal_constraint import constant_thermal_performance
+
+    thermal = thermal or ThermalConfig()
+    benchmarks = benchmarks if benchmarks is not None else spec2k_suite()
+    cacti = CactiModel()
+
+    peak_ratio = min(1.0, 1.0 / relative_gate_delay(90, 65))
+    # The DFS controller quantises to tenths; a 1.4 GHz cap is level 0.7.
+    peak_ratio = int(peak_ratio * 10) / 10.0
+
+    bank65 = cacti.estimate_bank(tech_nm=65)
+    bank90 = cacti.estimate_bank(tech_nm=90)
+    cache65_w = 9 * (bank65.static_power_w + 0.05)
+    cache90_w = 5 * (bank90.static_power_w + 0.05)
+    checker90_nominal = checker_power_at_node(checker_power_w, 90)
+    checker90_operational = checker_power_at_node(
+        checker_power_w, 90, frequency_fraction=peak_ratio
+    )
+
+    homo = standard_floorplan(
+        ChipModel.THREE_D_2A, checker_power_w=checker_power_w
+    )
+    hetero = standard_floorplan(
+        ChipModel.THREE_D_2A,
+        checker_power_w=checker90_operational,
+        upper_die_tech_nm=90,
+        bank_powers_w=[bank65.static_power_w + 0.05] * 6
+        + [bank90.static_power_w + 0.05] * 5,
+    )
+    homo_solved = ChipThermalModel(homo, thermal).solve()
+    hetero_solved = ChipThermalModel(hetero, thermal).solve()
+    baseline_peak = ChipThermalModel(
+        standard_floorplan(ChipModel.TWO_D_A), thermal
+    ).solve().peak_c
+
+    loss_homo = loss_hetero = 0.0
+    if with_thermal_constraint:
+        loss_homo = constant_thermal_performance(
+            checker_power_w=checker_power_w, window=window, thermal=thermal,
+            seed=seed, benchmarks=benchmarks,
+        ).performance_loss
+        loss_hetero = constant_thermal_performance(
+            checker_power_w=checker90_operational, window=window,
+            thermal=thermal, seed=seed, benchmarks=benchmarks,
+            upper_die_tech_nm=90,
+        ).performance_loss
+
+    # RMT with the capped checker: leading slowdown + required frequency.
+    capped_loss = 0.0
+    uncapped_loss = 0.0
+    mean_fraction = 0.0
+    for profile in benchmarks:
+        capped = simulate_rmt(
+            profile, ChipModel.THREE_D_2A, window=window, seed=seed,
+            checker_peak_ratio=peak_ratio,
+        )
+        uncapped = simulate_rmt(
+            profile, ChipModel.THREE_D_2A, window=window, seed=seed
+        )
+        capped_loss += capped.leading.ipc
+        uncapped_loss += uncapped.leading.ipc
+        mean_fraction += uncapped.mean_frequency_fraction
+    leading_slowdown = 1.0 - capped_loss / uncapped_loss
+    mean_fraction /= len(benchmarks)
+
+    residency = fig7_frequency_histogram(
+        window=window, seed=seed, benchmarks=benchmarks
+    ).fractions
+    resilience = compare_checker_processes(
+        residency, old_nm=90, new_nm=65, peak_ratio_old=peak_ratio
+    )
+
+    return HeteroCheckerResult(
+        checker_power_65nm_w=checker_power_w,
+        checker_power_90nm_w=checker90_nominal,
+        upper_cache_banks_65nm=9,
+        upper_cache_banks_90nm=len(
+            [b for b in hetero.blocks if b.die == 1 and b.name.startswith("bank")]
+        ),
+        upper_cache_power_65nm_w=cache65_w,
+        upper_cache_power_90nm_w=cache90_w,
+        checker_die_delta_w=(checker90_nominal + cache90_w)
+        - (checker_power_w + cache65_w),
+        checker_area_90nm_mm2=CHECKER_CORE_AREA_MM2 * logic_area_scale(90),
+        peak_temp_homogeneous_c=homo_solved.peak_c,
+        peak_temp_hetero_c=hetero_solved.peak_c,
+        checker_temp_homogeneous_c=homo_solved.block_peak_c["checker"],
+        checker_temp_hetero_c=hetero_solved.block_peak_c["checker"],
+        peak_frequency_ratio=peak_ratio,
+        mean_required_frequency_ghz=mean_fraction * 2.0,
+        leading_slowdown=leading_slowdown,
+        bank_access_cycles_65nm=bank65.access_cycles,
+        bank_access_cycles_90nm=bank90.access_cycles,
+        timing_error_rate_65nm=resilience["same-node"].expected_timing_error_rate,
+        timing_error_rate_90nm=resilience["older-node"].expected_timing_error_rate,
+        soft_error_rate_ratio=resilience["older-node"].uncorrectable_upset_rate
+        / resilience["same-node"].uncorrectable_upset_rate,
+        temp_increase_homo_c=homo_solved.peak_c - baseline_peak,
+        temp_increase_hetero_c=hetero_solved.peak_c - baseline_peak,
+        constraint_loss_homo=loss_homo,
+        constraint_loss_hetero=loss_hetero,
+    )

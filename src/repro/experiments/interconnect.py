@@ -1,0 +1,74 @@
+"""Interconnect experiments: Table 4 and the Section 3.4 analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import ChipModel
+from repro.experiments.thermal import standard_floorplan
+from repro.interconnect.buses import intercore_buses, l2_pillar, total_d2d_vias
+from repro.interconnect.vias import D2dViaModel
+from repro.interconnect.wires import WireBudget, wire_budget
+
+__all__ = [
+    "Table4Row",
+    "table4_bandwidth",
+    "ViaSummary",
+    "via_summary",
+    "section34_wire_analysis",
+]
+
+
+@dataclass
+class Table4Row:
+    """One row of Table 4: a bus, its width, its pillar placement."""
+
+    data: str
+    width_bits: int
+    placement: str
+
+
+def table4_bandwidth() -> list[Table4Row]:
+    """The die-to-die bandwidth requirement table (Table 4)."""
+    rows = [
+        Table4Row(bus.name, bus.width_bits, bus.via_block)
+        for bus in intercore_buses()
+    ]
+    pillar = l2_pillar()
+    rows.append(Table4Row(pillar.name, pillar.width_bits, pillar.via_block))
+    return rows
+
+
+@dataclass
+class ViaSummary:
+    """Die-to-die via totals (Section 3.4)."""
+
+    num_vias: int
+    per_via_power_mw: float
+    total_power_mw: float
+    total_area_mm2: float
+
+
+def via_summary() -> ViaSummary:
+    """Via count, power and area: 1409 vias, ~15 mW, 0.07 mm²."""
+    model = D2dViaModel()
+    count = total_d2d_vias()
+    return ViaSummary(
+        num_vias=count,
+        per_via_power_mw=model.via_power_w() * 1e3,
+        total_power_mw=model.total_power_w(count) * 1e3,
+        total_area_mm2=model.total_area_mm2(count),
+    )
+
+
+def section34_wire_analysis() -> dict[str, WireBudget]:
+    """Wire lengths / metal areas / power for the three chip models.
+
+    Paper values: inter-core length 7490 mm (2D) vs 4279 mm (3D); metal
+    area 1.57 vs 0.898 mm² (42% saving); L2 metal 2.36 / 5.49 / 4.61 mm²;
+    wire power 5.1 / 15.5 / 12.1 W with the checker feed costing 1.8 W.
+    """
+    return {
+        chip.value: wire_budget(standard_floorplan(chip, checker_power_w=7.0))
+        for chip in (ChipModel.TWO_D_A, ChipModel.TWO_D_2A, ChipModel.THREE_D_2A)
+    }

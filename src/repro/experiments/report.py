@@ -1,0 +1,131 @@
+"""One-shot report generation: every fast experiment into JSON/markdown.
+
+``python -m repro report`` (or :func:`generate_report`) runs the
+analytical and reduced-window experiments and writes a machine-readable
+``results.json`` plus a human-readable ``results.md`` — the artifact a
+release pipeline would publish next to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.common.config import ChipModel
+from repro.common.tables import format_table
+from repro.experiments.coverage import fault_coverage_campaign
+from repro.experiments.frequency import fig7_frequency_histogram
+from repro.experiments.interconnect import (
+    section34_wire_analysis,
+    table4_bandwidth,
+    via_summary,
+)
+from repro.experiments.pipeline_depth import table5_pipeline_power
+from repro.experiments.runner import SimulationWindow
+from repro.experiments.technology import (
+    fig8_ser_scaling,
+    fig9_mbu_curve,
+    table6_variability,
+    table7_devices,
+    table8_power_ratios,
+)
+from repro.experiments.thermal import fig4_thermal_sweep, thermal_variants
+from repro.workloads.profiles import get_profile
+
+__all__ = ["generate_report"]
+
+_DEFAULT_SUBSET = ("gzip", "mcf", "mesa")
+
+
+def _collect(window: SimulationWindow, subset) -> dict:
+    benchmarks = [get_profile(n) for n in subset]
+    fig7 = fig7_frequency_histogram(window=window, benchmarks=benchmarks)
+    coverage = fault_coverage_campaign(instructions=10_000)
+    return {
+        "table4": [dataclasses.asdict(r) for r in table4_bandwidth()],
+        "table5": [dataclasses.asdict(r) for r in table5_pipeline_power()],
+        "table6": table6_variability(),
+        "table7": table7_devices(),
+        "table8": [dataclasses.asdict(r) for r in table8_power_ratios()],
+        "fig4": [dataclasses.asdict(r) for r in fig4_thermal_sweep()],
+        "fig4_variants": {
+            "7W": thermal_variants(7.0),
+            "15W": thermal_variants(15.0),
+        },
+        "fig7": {
+            "fractions": {str(k): v for k, v in fig7.fractions.items()},
+            "mode": fig7.mode,
+            "mean": fig7.mean,
+        },
+        "fig8": fig8_ser_scaling(),
+        "fig9": fig9_mbu_curve(),
+        "vias": dataclasses.asdict(via_summary()),
+        "wires": {
+            name: dataclasses.asdict(budget)
+            for name, budget in section34_wire_analysis().items()
+        },
+        "coverage": dataclasses.asdict(coverage),
+    }
+
+
+def _render_markdown(data: dict) -> str:
+    sections = ["# repro results\n"]
+    sections.append(format_table(
+        "Figure 4: 3D thermal overhead",
+        ["checker W", "2d-2a C", "3d-2a C", "2d-a C"],
+        [
+            [r["checker_power_w"], round(r["temp_2d_2a_c"], 1),
+             round(r["temp_3d_2a_c"], 1), round(r["temp_2d_a_c"], 1)]
+            for r in data["fig4"]
+        ],
+    ))
+    sections.append(format_table(
+        "Figure 7: checker frequency residency",
+        ["normalized f", "fraction"],
+        [[k, f"{v:.3f}"] for k, v in data["fig7"]["fractions"].items()],
+    ))
+    sections.append(format_table(
+        "Table 8: relative power",
+        ["nodes", "dynamic", "leakage"],
+        [
+            [f"{r['old_nm']}/{r['new_nm']}", r["dynamic_derived"],
+             r["leakage_derived"]]
+            for r in data["table8"]
+        ],
+    ))
+    vias = data["vias"]
+    sections.append(
+        f"\nd2d vias: {vias['num_vias']} "
+        f"({vias['total_power_mw']:.2f} mW, {vias['total_area_mm2']:.3f} mm2)"
+    )
+    cov = data["coverage"]
+    sections.append(
+        f"fault coverage: {cov['faults_injected']} injected, "
+        f"{cov['mismatches_detected']} detected, "
+        f"store stream correct: {cov['store_stream_correct']}"
+    )
+    for name, budget in data["wires"].items():
+        sections.append(
+            f"wires {name}: inter-core {budget['intercore_length_mm']:.0f} mm, "
+            f"power {budget['intercore_power_w'] + budget['l2_power_w']:.1f} W"
+        )
+    return "\n\n".join(sections) + "\n"
+
+
+def generate_report(
+    out_dir: str | Path,
+    window: SimulationWindow | None = None,
+    subset: tuple[str, ...] = _DEFAULT_SUBSET,
+) -> dict:
+    """Run the report experiments and write ``results.json``/``results.md``.
+
+    Returns the collected data dictionary.
+    """
+    window = window or SimulationWindow(warmup=3000, measured=10_000)
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    data = _collect(window, subset)
+    (out / "results.json").write_text(json.dumps(data, indent=2, default=str))
+    (out / "results.md").write_text(_render_markdown(data))
+    return data

@@ -1,0 +1,132 @@
+"""Shared experiment plumbing: build and run one benchmark on one chip model.
+
+All experiment drivers (one per table/figure of the paper) funnel through
+these helpers so that every result in EXPERIMENTS.md comes from the same
+simulation pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.config import (
+    CheckerCoreConfig,
+    ChipModel,
+    LeadingCoreConfig,
+    NucaConfig,
+    NucaPolicy,
+    SystemConfig,
+)
+from repro.core.branch import BranchPredictor
+from repro.core.leading import LeadingCoreTiming, LeadingRunResult
+from repro.core.memory import MemoryHierarchy
+from repro.core.rmt import RmtSimulator, RmtTimingResult
+from repro.isa.trace import TraceGenerator
+from repro.workloads.profiles import WorkloadProfile, get_profile
+
+__all__ = [
+    "SimulationWindow",
+    "build_memory",
+    "simulate_leading",
+    "simulate_rmt",
+    "DEFAULT_WINDOW",
+]
+
+
+@dataclass(frozen=True)
+class SimulationWindow:
+    """How many instructions to warm up and to measure.
+
+    The paper measures 100M-instruction SimPoint windows; a pure-Python
+    simulator measures proportionally smaller windows after explicit cache
+    preloading and predictor pre-training, which recover the steady-state
+    behaviour the long window would produce.
+    """
+
+    warmup: int = 10_000
+    measured: int = 40_000
+
+    @property
+    def total(self) -> int:
+        """Warmup plus measured instruction count."""
+        return self.warmup + self.measured
+
+
+DEFAULT_WINDOW = SimulationWindow()
+
+
+def build_memory(
+    chip: ChipModel,
+    leading: LeadingCoreConfig | None = None,
+    policy: NucaPolicy = NucaPolicy.DISTRIBUTED_SETS,
+) -> MemoryHierarchy:
+    """The memory hierarchy for one of the paper's chip models."""
+    leading = leading or LeadingCoreConfig()
+    nuca = NucaConfig(num_banks=chip.l2_banks, policy=policy)
+    return MemoryHierarchy(leading, nuca, chip)
+
+
+def _prepare(
+    profile: WorkloadProfile | str,
+    chip: ChipModel,
+    window: SimulationWindow,
+    seed: int,
+    policy: NucaPolicy,
+    leading: LeadingCoreConfig | None,
+):
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    leading = leading or LeadingCoreConfig()
+    memory = build_memory(chip, leading, policy)
+    memory.preload_profile(profile)
+    generator = TraceGenerator(profile, seed=seed)
+    predictor = BranchPredictor()
+    generator.pretrain_predictor(predictor)
+    trace = generator.generate(window.total)
+    return profile, leading, memory, predictor, trace
+
+
+def simulate_leading(
+    profile: WorkloadProfile | str,
+    chip: ChipModel = ChipModel.TWO_D_A,
+    window: SimulationWindow = DEFAULT_WINDOW,
+    seed: int = 42,
+    policy: NucaPolicy = NucaPolicy.DISTRIBUTED_SETS,
+    leading: LeadingCoreConfig | None = None,
+) -> LeadingRunResult:
+    """Run one benchmark's leading core alone (no checker) on ``chip``."""
+    profile, leading, memory, predictor, trace = _prepare(
+        profile, chip, window, seed, policy, leading
+    )
+    core = LeadingCoreTiming(leading, memory, predictor)
+    return core.run(trace, warmup=window.warmup)
+
+
+def simulate_rmt(
+    profile: WorkloadProfile | str,
+    chip: ChipModel = ChipModel.THREE_D_2A,
+    window: SimulationWindow = DEFAULT_WINDOW,
+    seed: int = 42,
+    policy: NucaPolicy = NucaPolicy.DISTRIBUTED_SETS,
+    leading: LeadingCoreConfig | None = None,
+    checker: CheckerCoreConfig | None = None,
+    checker_peak_ratio: float = 1.0,
+) -> RmtTimingResult:
+    """Co-simulate leading + checker for one benchmark on ``chip``.
+
+    The inter-core transfer latency follows the chip model: ~1 cycle over
+    3D inter-die vias, ~4 cycles over 2D global wires (Section 3).
+    """
+    profile, leading, memory, predictor, trace = _prepare(
+        profile, chip, window, seed, policy, leading
+    )
+    checker = checker or CheckerCoreConfig()
+    simulator = RmtSimulator(
+        leading_config=leading,
+        checker_config=checker,
+        memory=memory,
+        predictor=predictor,
+        transfer_latency_cycles=1 if chip.is_3d else 4,
+        checker_peak_ratio=checker_peak_ratio,
+    )
+    return simulator.run(trace, warmup=window.warmup)

@@ -1,0 +1,116 @@
+"""Technology experiments: Tables 6-8 and Figures 8-9 (Section 4 data)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.itrs import (
+    PUBLISHED_TABLE8,
+    TECH_NODES,
+    VARIABILITY_TABLE,
+    dynamic_power_ratio,
+    leakage_power_ratio,
+)
+from repro.reliability.ser import (
+    SER_PER_BIT_RELATIVE,
+    critical_charge_fc,
+    mbu_probability,
+    total_chip_ser,
+)
+
+__all__ = [
+    "table6_variability",
+    "table7_devices",
+    "Table8Row",
+    "table8_power_ratios",
+    "fig8_ser_scaling",
+    "fig9_mbu_curve",
+]
+
+
+def table6_variability() -> list[dict[str, float]]:
+    """Table 6: ITRS projected variability per node."""
+    return [
+        {
+            "feature_nm": entry.feature_nm,
+            "vth_variability": entry.vth_variability,
+            "circuit_performance_variability": entry.circuit_performance_variability,
+            "circuit_power_variability": entry.circuit_power_variability,
+        }
+        for entry in VARIABILITY_TABLE.values()
+    ]
+
+
+def table7_devices() -> list[dict[str, float]]:
+    """Table 7: ITRS device characteristics per node."""
+    return [
+        {
+            "feature_nm": node.feature_nm,
+            "voltage_v": node.voltage_v,
+            "gate_length_nm": node.gate_length_nm,
+            "capacitance_f_per_um": node.capacitance_f_per_um,
+            "leakage_ua_per_um": node.leakage_ua_per_um,
+        }
+        for node in TECH_NODES.values()
+    ]
+
+
+@dataclass
+class Table8Row:
+    """Relative power of an old node vs a new node: derived vs published."""
+
+    old_nm: int
+    new_nm: int
+    dynamic_derived: float
+    leakage_derived: float
+    dynamic_published: float
+    leakage_published: float
+
+
+def table8_power_ratios() -> list[Table8Row]:
+    """Table 8, derived from Table 7 (P_dyn ∝ C·L·V², P_leak ∝ I·L·V)."""
+    rows = []
+    for (old, new), (dyn_pub, leak_pub) in PUBLISHED_TABLE8.items():
+        rows.append(
+            Table8Row(
+                old_nm=old,
+                new_nm=new,
+                dynamic_derived=round(dynamic_power_ratio(old, new), 2),
+                leakage_derived=round(leakage_power_ratio(old, new), 2),
+                dynamic_published=dyn_pub,
+                leakage_published=leak_pub,
+            )
+        )
+    return rows
+
+
+def fig8_ser_scaling() -> list[dict[str, float]]:
+    """Figure 8: per-bit and whole-chip SER across nodes.
+
+    Per-bit rates fall slowly; chip rates rise with density — the paper's
+    argument for older-process checker dies.
+    """
+    return [
+        {
+            "feature_nm": node,
+            "per_bit_relative": rel,
+            "chip_relative": round(total_chip_ser(node), 2),
+        }
+        for node, rel in sorted(SER_PER_BIT_RELATIVE.items(), reverse=True)
+    ]
+
+
+def fig9_mbu_curve(
+    nodes: tuple[int, ...] = (180, 130, 90, 65, 45)
+) -> list[dict[str, float]]:
+    """Figure 9: multi-bit-upset probability vs critical charge."""
+    return [
+        {
+            "feature_nm": node,
+            "critical_charge_fc": critical_charge_fc(node),
+            "mbu_probability": round(
+                mbu_probability(critical_charge_fc(node)), 4
+            ),
+        }
+        for node in nodes
+    ]

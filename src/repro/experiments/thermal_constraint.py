@@ -1,0 +1,134 @@
+"""Section 3.3: performance under a constant thermal constraint.
+
+The 3D reliable processor runs hotter; to hold the 2D baseline's peak
+temperature, its voltage and frequency scale down together (the paper,
+following [2], treats V and f as linearly coupled, so power scales
+strongly with frequency).  The driver searches for the frequency that
+matches the 2d-a thermals and then measures the leading core's
+performance at that frequency — memory latency is fixed in nanoseconds,
+so the loss is a little less than the frequency reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import ChipModel, LeadingCoreConfig, ThermalConfig
+from repro.experiments.runner import (
+    DEFAULT_WINDOW,
+    SimulationWindow,
+    simulate_leading,
+)
+from repro.experiments.thermal import standard_floorplan
+from repro.thermal.hotspot import ChipThermalModel
+from repro.workloads.profiles import WorkloadProfile, spec2k_suite
+
+__all__ = [
+    "ThermalConstraintResult",
+    "thermally_equivalent_frequency",
+    "constant_thermal_performance",
+]
+
+# Dynamic power ∝ V²f with V ∝ f gives an exponent of 3; leakage scales
+# more slowly, so the chip-level effective exponent sits a little lower.
+_POWER_FREQUENCY_EXPONENT = 2.6
+
+
+def thermally_equivalent_frequency(
+    checker_power_w: float,
+    thermal: ThermalConfig | None = None,
+    chip: ChipModel = ChipModel.THREE_D_2A,
+    upper_die_tech_nm: int = 65,
+    tolerance_c: float = 0.05,
+) -> float:
+    """Frequency fraction at which ``chip`` matches the 2d-a peak temp.
+
+    Paper: 1.9 GHz (0.95) for a 7 W checker, 1.8 GHz (0.90) for 15 W.
+    """
+    thermal = thermal or ThermalConfig()
+    target = ChipThermalModel(
+        standard_floorplan(ChipModel.TWO_D_A), thermal
+    ).solve().peak_c
+    plan = standard_floorplan(
+        chip, checker_power_w=checker_power_w, upper_die_tech_nm=upper_die_tech_nm
+    )
+    model = ChipThermalModel(plan, thermal)
+
+    def peak_at(ratio: float) -> float:
+        scaled = plan.scaled_power(ratio**_POWER_FREQUENCY_EXPONENT)
+        powers = {b.name: b.power_w for b in scaled.blocks}
+        # distributed wire power scales too: rebuild the model's view by
+        # scaling block powers and solving with the scaled distributed map.
+        saved = model.floorplan.distributed_power_w
+        model.floorplan.distributed_power_w = scaled.distributed_power_w
+        try:
+            return model.solve(powers).peak_c
+        finally:
+            model.floorplan.distributed_power_w = saved
+
+    low, high = 0.6, 1.0
+    if peak_at(1.0) <= target:
+        return 1.0
+    for _ in range(30):
+        mid = (low + high) / 2.0
+        if peak_at(mid) > target + tolerance_c:
+            high = mid
+        else:
+            low = mid
+        if high - low < 1e-3:
+            break
+    return (low + high) / 2.0
+
+
+@dataclass
+class ThermalConstraintResult:
+    """Outcome of the constant-thermal analysis for one checker power."""
+
+    checker_power_w: float
+    frequency_fraction: float
+    frequency_ghz: float
+    performance_loss: float   # 1 - (perf at reduced f / perf at full f)
+
+
+def constant_thermal_performance(
+    checker_power_w: float = 7.0,
+    window: SimulationWindow = DEFAULT_WINDOW,
+    thermal: ThermalConfig | None = None,
+    seed: int = 42,
+    benchmarks: list[WorkloadProfile] | None = None,
+    chip: ChipModel = ChipModel.THREE_D_2A,
+    upper_die_tech_nm: int = 65,
+) -> ThermalConstraintResult:
+    """Find the thermally-matched frequency and its performance cost.
+
+    Performance is instructions per second: IPC at the scaled frequency
+    (with memory latency re-expressed in the shorter cycles) times the
+    frequency itself.  Paper: 4.1% loss at 7 W, 8.2% at 15 W.
+    """
+    benchmarks = benchmarks if benchmarks is not None else spec2k_suite()
+    ratio = thermally_equivalent_frequency(
+        checker_power_w, thermal, chip, upper_die_tech_nm
+    )
+    base_cfg = LeadingCoreConfig()
+    scaled_cfg = LeadingCoreConfig(
+        frequency_hz=base_cfg.frequency_hz * ratio,
+        memory_latency_cycles=max(1, round(base_cfg.memory_latency_cycles * ratio)),
+    )
+    perf_full = 0.0
+    perf_scaled = 0.0
+    for profile in benchmarks:
+        full = simulate_leading(
+            profile, chip, window=window, seed=seed, leading=base_cfg
+        )
+        scaled = simulate_leading(
+            profile, chip, window=window, seed=seed, leading=scaled_cfg
+        )
+        perf_full += full.ipc * 1.0
+        perf_scaled += scaled.ipc * ratio
+    loss = 1.0 - perf_scaled / perf_full
+    return ThermalConstraintResult(
+        checker_power_w=checker_power_w,
+        frequency_fraction=ratio,
+        frequency_ghz=2.0 * ratio,
+        performance_loss=loss,
+    )

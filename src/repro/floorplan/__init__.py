@@ -1,0 +1,35 @@
+"""Die floorplans: block definitions and per-chip-model layouts."""
+
+from repro.floorplan.blocks import (
+    Block,
+    BlockKind,
+    CHECKER_CORE_AREA_MM2,
+    L2_BANK_AREA_MM2,
+    L2_BANK_DYNAMIC_W_PER_ACCESS,
+    L2_BANK_STATIC_W,
+    LEADING_CORE_AREA_MM2,
+    LEADING_CORE_POWER_W,
+    ROUTER_AREA_MM2,
+    ROUTER_POWER_W,
+    leading_core_blocks,
+    leading_core_unit_fractions,
+)
+from repro.floorplan.layouts import CheckerPlacement, Floorplan, build_floorplan
+
+__all__ = [
+    "Block",
+    "BlockKind",
+    "CHECKER_CORE_AREA_MM2",
+    "L2_BANK_AREA_MM2",
+    "L2_BANK_DYNAMIC_W_PER_ACCESS",
+    "L2_BANK_STATIC_W",
+    "LEADING_CORE_AREA_MM2",
+    "LEADING_CORE_POWER_W",
+    "ROUTER_AREA_MM2",
+    "ROUTER_POWER_W",
+    "leading_core_blocks",
+    "leading_core_unit_fractions",
+    "CheckerPlacement",
+    "Floorplan",
+    "build_floorplan",
+]

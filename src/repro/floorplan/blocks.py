@@ -1,0 +1,145 @@
+"""Block-level floorplan primitives and the EV7-like leading core.
+
+Areas follow Table 2 of the paper (leading core 19.6 mm², in-order checker
+and 1 MB L2 bank 5 mm² each at 65 nm); the leading core's internal split is
+modelled loosely on the Alpha EV7 floorplan scaled with non-ideal factors,
+as the paper describes (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.common.errors import FloorplanError
+from repro.common.geometry import Rect
+
+__all__ = [
+    "BlockKind",
+    "Block",
+    "LEADING_CORE_AREA_MM2",
+    "CHECKER_CORE_AREA_MM2",
+    "L2_BANK_AREA_MM2",
+    "ROUTER_AREA_MM2",
+    "LEADING_CORE_POWER_W",
+    "L2_BANK_DYNAMIC_W_PER_ACCESS",
+    "L2_BANK_STATIC_W",
+    "ROUTER_POWER_W",
+    "leading_core_unit_fractions",
+    "leading_core_blocks",
+]
+
+# Table 2 of the paper.
+LEADING_CORE_AREA_MM2 = 19.6
+CHECKER_CORE_AREA_MM2 = 5.0
+L2_BANK_AREA_MM2 = 5.0
+ROUTER_AREA_MM2 = 0.22
+LEADING_CORE_POWER_W = 35.0
+L2_BANK_DYNAMIC_W_PER_ACCESS = 0.732
+L2_BANK_STATIC_W = 0.376
+ROUTER_POWER_W = 0.296
+
+
+class BlockKind(enum.Enum):
+    """Functional class of a floorplan block."""
+
+    CORE_UNIT = "core-unit"        # a unit inside the leading core
+    CHECKER = "checker"
+    L2_BANK = "l2-bank"
+    L2_CONTROL = "l2-control"      # controller, tag array, routers
+    BUFFERS = "buffers"            # RVQ/LVQ/BOQ/StB landing area
+    INACTIVE = "inactive"          # unpowered silicon
+
+
+@dataclass(frozen=True)
+class Block:
+    """One rectangle of silicon with a name, a kind, a die, and a power."""
+
+    name: str
+    kind: BlockKind
+    rect: Rect            # millimetres
+    die: int = 0          # 0 = bottom die (next to heat sink), 1 = stacked die
+    power_w: float = 0.0
+
+    @property
+    def area_mm2(self) -> float:
+        """Block area in mm²."""
+        return self.rect.area
+
+    @property
+    def power_density_w_mm2(self) -> float:
+        """Power density in W/mm²."""
+        return self.power_w / self.rect.area if self.rect.area else 0.0
+
+    def with_power(self, power_w: float) -> "Block":
+        """A copy of this block dissipating ``power_w``."""
+        return replace(self, power_w=power_w)
+
+
+# EV7-like unit split of the leading core: (name, area fraction, fraction of
+# the core's dynamic power).  The register file and integer execution units
+# are the densest, hottest blocks, which drives the thermal results.
+_LEADING_UNITS: list[tuple[str, float, float]] = [
+    ("icache", 0.13, 0.085),
+    ("bpred", 0.06, 0.05),
+    ("rename", 0.09, 0.08),
+    ("rob", 0.075, 0.095),
+    ("regfile", 0.062, 0.13),
+    ("int_exec", 0.12, 0.175),
+    ("fp_exec", 0.125, 0.12),
+    ("lsq", 0.08, 0.065),
+    ("dcache", 0.168, 0.13),
+    ("clock_other", 0.09, 0.07),
+]
+
+assert abs(sum(a for _, a, _ in _LEADING_UNITS) - 1.0) < 1e-9
+assert abs(sum(p for _, _, p in _LEADING_UNITS) - 1.0) < 1e-9
+
+
+def leading_core_unit_fractions() -> list[tuple[str, float, float]]:
+    """(name, area fraction, power fraction) of each leading-core unit."""
+    return list(_LEADING_UNITS)
+
+
+def leading_core_blocks(
+    origin_x_mm: float,
+    origin_y_mm: float,
+    width_mm: float,
+    height_mm: float,
+    total_power_w: float = LEADING_CORE_POWER_W,
+    die: int = 0,
+) -> list[Block]:
+    """Lay the leading core's units out inside the given rectangle.
+
+    Units are packed in two horizontal rows (front end + memory in one,
+    execution in the other), preserving each unit's area fraction, so the
+    hot execution cluster sits together the way it does on the EV7.
+    """
+    if width_mm <= 0 or height_mm <= 0:
+        raise FloorplanError("leading core rectangle must have positive size")
+    row1 = ["icache", "bpred", "rename", "rob", "clock_other"]
+    row2 = ["int_exec", "regfile", "fp_exec", "lsq", "dcache"]
+    fractions = {name: (area, power) for name, area, power in _LEADING_UNITS}
+    row1_area = sum(fractions[n][0] for n in row1)
+    blocks: list[Block] = []
+    for row_names, y0, h_frac in (
+        (row1, origin_y_mm, row1_area),
+        (row2, origin_y_mm + row1_area * height_mm, 1.0 - row1_area),
+    ):
+        row_height = h_frac * height_mm
+        row_area_frac = sum(fractions[n][0] for n in row_names)
+        x = origin_x_mm
+        for name in row_names:
+            area_frac, power_frac = fractions[name]
+            w = width_mm * (area_frac / row_area_frac)
+            blocks.append(
+                Block(
+                    name=name,
+                    kind=BlockKind.CORE_UNIT,
+                    rect=Rect(x, y0, w, row_height),
+                    die=die,
+                    power_w=total_power_w * power_frac,
+                )
+            )
+            x += w
+    return blocks

@@ -1,0 +1,451 @@
+"""Die floorplans for the paper's four chip models (Figure 3).
+
+* ``2d-a``   — single 7.25×7.25 mm die: leading core strip, L2 controller
+  strip, six 5 mm² L2 banks.
+* ``2d-2a``  — single 10.3×10.15 mm die: leading core + checker + fifteen
+  banks (twice the total area, larger heat sink).
+* ``3d-2a``  — two stacked 7.25×7.25 mm dies: die 1 is the 2d-a die, die 2
+  carries the checker core plus nine extra banks.
+* ``3d-checker`` — die 2 carries only the checker (rest inactive silicon).
+
+Variants reproduce the paper's design-space probes: checker moved to the
+die corner (−1.5 °C), upper die cache replaced by inactive silicon
+(−2 °C / −1 °C), and checker power density doubled (+19 °C scenario).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import ChipModel
+from repro.common.errors import FloorplanError
+from repro.common.geometry import Rect
+from repro.floorplan.blocks import (
+    Block,
+    BlockKind,
+    L2_BANK_STATIC_W,
+    LEADING_CORE_POWER_W,
+    ROUTER_POWER_W,
+    leading_core_blocks,
+)
+
+__all__ = ["Floorplan", "build_floorplan", "CheckerPlacement"]
+
+
+class CheckerPlacement:
+    """Where the checker core sits on the upper die."""
+
+    DEFAULT = "default"   # top-centre strip, near die 1's L2 banks
+    CORNER = "corner"     # top corner (longer inter-core wires, cooler)
+
+
+@dataclass
+class Floorplan:
+    """A set of placed blocks over one or two dies.
+
+    ``distributed_power_w`` holds per-die power that is spread uniformly
+    over the die rather than belonging to any block — the long horizontal
+    interconnect of Section 3.4 dissipates this way.
+    """
+
+    chip: ChipModel
+    die_width_mm: float
+    die_height_mm: float
+    num_dies: int
+    blocks: list[Block] = field(default_factory=list)
+    distributed_power_w: dict[int, float] = field(default_factory=dict)
+
+    def die_blocks(self, die: int) -> list[Block]:
+        """Blocks on one die."""
+        return [b for b in self.blocks if b.die == die]
+
+    def block(self, name: str) -> Block:
+        """Look up a block by name."""
+        for b in self.blocks:
+            if b.name == name:
+                return b
+        raise KeyError(f"no block named {name!r}")
+
+    def total_power_w(self, die: int | None = None) -> float:
+        """Total power of one die (or the whole stack), wires included."""
+        block_power = sum(
+            b.power_w for b in self.blocks if die is None or b.die == die
+        )
+        if die is None:
+            return block_power + sum(self.distributed_power_w.values())
+        return block_power + self.distributed_power_w.get(die, 0.0)
+
+    @property
+    def die_area_mm2(self) -> float:
+        """Area of one die in mm²."""
+        return self.die_width_mm * self.die_height_mm
+
+    def validate(self) -> None:
+        """Raise :class:`FloorplanError` on overlap or out-of-die blocks."""
+        bounds = Rect(0, 0, self.die_width_mm, self.die_height_mm)
+        eps = 1e-6
+        outer = Rect(-eps, -eps, self.die_width_mm + 2 * eps, self.die_height_mm + 2 * eps)
+        for die in range(self.num_dies):
+            placed = self.die_blocks(die)
+            for i, a in enumerate(placed):
+                if not outer.contains(a.rect):
+                    raise FloorplanError(f"{a.name} extends outside die {die}")
+                for b in placed[i + 1 :]:
+                    if a.rect.intersection_area(b.rect) > 1e-9:
+                        raise FloorplanError(
+                            f"{a.name} overlaps {b.name} on die {die}"
+                        )
+        del bounds
+
+    def scaled_power(self, factor: float) -> "Floorplan":
+        """A copy with every block's power multiplied by ``factor``.
+
+        Used for the constant-thermal-constraint analysis, where voltage and
+        frequency scale together (P ∝ V²f ≈ f³ over the narrow range used).
+        """
+        return Floorplan(
+            chip=self.chip,
+            die_width_mm=self.die_width_mm,
+            die_height_mm=self.die_height_mm,
+            num_dies=self.num_dies,
+            blocks=[b.with_power(b.power_w * factor) for b in self.blocks],
+            distributed_power_w={
+                die: p * factor for die, p in self.distributed_power_w.items()
+            },
+        )
+
+
+# Geometry constants (mm), chosen so block areas match Table 2.
+_SMALL_DIE = 7.25          # 2d-a and both 3D dies: 52.6 mm²
+_BIG_DIE_W = 10.30         # 2d-2a: 104.5 mm²
+_BIG_DIE_H = 10.16
+_CORE_STRIP_H = 2.703      # 19.6 mm² over a 7.25 mm wide die
+_CTL_STRIP_H = 0.414       # 3 mm² controller/router strip
+_BANK_W = _SMALL_DIE / 3.0  # 2.4167
+_BANK_H = 2.0665           # 5.0 mm² banks
+
+
+def _bank(name: str, x: float, y: float, die: int, power: float) -> Block:
+    return Block(name, BlockKind.L2_BANK, Rect(x, y, _BANK_W, _BANK_H), die, power)
+
+
+def build_floorplan(
+    chip: ChipModel,
+    checker_power_w: float = 7.0,
+    leading_power_w: float = LEADING_CORE_POWER_W,
+    bank_powers_w: list[float] | float | None = None,
+    wire_power_w: float = 0.0,
+    checker_placement: str = CheckerPlacement.DEFAULT,
+    upper_die_cache: bool = True,
+    checker_area_scale: float = 1.0,
+    upper_die_tech_nm: int = 65,
+) -> Floorplan:
+    """Build the powered floorplan for one chip model.
+
+    ``bank_powers_w`` is either one number for every bank or a per-bank
+    list (lower-die banks first); None uses the bank's static power plus a
+    nominal dynamic share.  ``wire_power_w`` (Section 3.4 interconnect
+    power) is spread uniformly over the dies.  ``checker_area_scale``
+    shrinks the checker block at constant power to raise its power density
+    (the pessimistic +19 °C scenario).  ``upper_die_tech_nm`` selects a
+    heterogeneous upper die (Section 4): at 90 nm the same die area holds
+    the larger checker plus five (instead of nine) 1 MB banks.
+    """
+    num_banks = chip.l2_banks
+    if chip is ChipModel.THREE_D_2A and upper_die_tech_nm != 65:
+        from repro.cache.cacti import CactiModel, logic_area_scale
+        from repro.floorplan.blocks import CHECKER_CORE_AREA_MM2
+
+        bank_area = CactiModel().estimate_bank(tech_nm=upper_die_tech_nm).area_mm2
+        checker_area = CHECKER_CORE_AREA_MM2 * logic_area_scale(upper_die_tech_nm)
+        die_area = _SMALL_DIE * _SMALL_DIE
+        num_banks = 6 + max(0, int((die_area - checker_area) // bank_area))
+    if bank_powers_w is None:
+        bank_powers_w = L2_BANK_STATIC_W + 0.05
+    if isinstance(bank_powers_w, (int, float)):
+        bank_powers_w = [float(bank_powers_w)] * num_banks
+    if len(bank_powers_w) != num_banks:
+        raise FloorplanError(
+            f"{chip.value} needs {num_banks} bank powers, got {len(bank_powers_w)}"
+        )
+    if chip is ChipModel.TWO_D_A:
+        plan = _small_base_die(leading_power_w, bank_powers_w, ChipModel.TWO_D_A)
+        plan.distributed_power_w = {0: wire_power_w}
+    elif chip is ChipModel.TWO_D_2A:
+        plan = _big_die(
+            leading_power_w, checker_power_w, bank_powers_w, checker_area_scale
+        )
+        plan.distributed_power_w = {0: wire_power_w}
+    else:
+        plan = _small_base_die(leading_power_w, bank_powers_w[:6], chip)
+        if chip is ChipModel.THREE_D_2A and upper_die_tech_nm != 65:
+            _add_hetero_upper_die(
+                plan,
+                checker_power_w=checker_power_w,
+                bank_powers_w=bank_powers_w[6:],
+                bank_area_mm2=bank_area,
+                checker_area_mm2=checker_area,
+            )
+        else:
+            _add_upper_die(
+                plan,
+                checker_power_w=checker_power_w,
+                bank_powers_w=bank_powers_w[6:],
+                with_cache=upper_die_cache and chip is ChipModel.THREE_D_2A,
+                placement=checker_placement,
+                checker_area_scale=checker_area_scale,
+            )
+        # The inter-core buses live on the upper die's metal; the NUCA wires
+        # split roughly with the bank count (6 of 15 below, 9 above).
+        plan.distributed_power_w = {0: 0.4 * wire_power_w, 1: 0.6 * wire_power_w}
+    plan.validate()
+    return plan
+
+
+def _small_base_die(
+    leading_power_w: float,
+    bank_powers_w: list[float],
+    chip: ChipModel,
+) -> Floorplan:
+    plan = Floorplan(chip, _SMALL_DIE, _SMALL_DIE, 1 if not chip.is_3d else 2)
+    plan.blocks.extend(
+        leading_core_blocks(0.0, 0.0, _SMALL_DIE, _CORE_STRIP_H, leading_power_w)
+    )
+    routers = 6 * ROUTER_POWER_W
+    plan.blocks.append(
+        Block(
+            "l2_ctl",
+            BlockKind.L2_CONTROL,
+            Rect(0.0, _CORE_STRIP_H, _SMALL_DIE, _CTL_STRIP_H),
+            0,
+            routers,
+        )
+    )
+    y0 = _CORE_STRIP_H + _CTL_STRIP_H
+    for i in range(6):
+        row, col = divmod(i, 3)
+        plan.blocks.append(
+            _bank(f"bank{i}", col * _BANK_W, y0 + row * _BANK_H, 0, bank_powers_w[i])
+        )
+    return plan
+
+
+def _big_die(
+    leading_power_w: float,
+    checker_power_w: float,
+    bank_powers_w: list[float],
+    checker_area_scale: float,
+) -> Floorplan:
+    plan = Floorplan(ChipModel.TWO_D_2A, _BIG_DIE_W, _BIG_DIE_H, 1)
+    strip_h = 2.485
+    core_w = 19.6 / strip_h
+    plan.blocks.extend(
+        leading_core_blocks(0.0, 0.0, core_w, strip_h, leading_power_w)
+    )
+    checker_w = 5.0 * checker_area_scale / strip_h
+    plan.blocks.append(
+        Block(
+            "checker",
+            BlockKind.CHECKER,
+            Rect(core_w, 0.0, checker_w, strip_h),
+            0,
+            checker_power_w,
+        )
+    )
+    plan.blocks.append(
+        Block(
+            "buffers",
+            BlockKind.BUFFERS,
+            Rect(core_w + checker_w, 0.0, _BIG_DIE_W - core_w - checker_w, strip_h),
+            0,
+            0.2,
+        )
+    )
+    ctl_h = 0.388
+    plan.blocks.append(
+        Block(
+            "l2_ctl",
+            BlockKind.L2_CONTROL,
+            Rect(0.0, strip_h, _BIG_DIE_W, ctl_h),
+            0,
+            15 * ROUTER_POWER_W,
+        )
+    )
+    bank_w = _BIG_DIE_W / 5.0
+    bank_h = 5.0 / bank_w
+    y0 = strip_h + ctl_h
+    for i in range(15):
+        row, col = divmod(i, 5)
+        plan.blocks.append(
+            Block(
+                f"bank{i}",
+                BlockKind.L2_BANK,
+                Rect(col * bank_w, y0 + row * bank_h, bank_w, bank_h),
+                0,
+                bank_powers_w[i],
+            )
+        )
+    return plan
+
+
+def _add_upper_die(
+    plan: Floorplan,
+    checker_power_w: float,
+    bank_powers_w: list[float],
+    with_cache: bool,
+    placement: str,
+    checker_area_scale: float,
+) -> None:
+    """Upper die of the 3D models (Figure 3b).
+
+    Bank row 0 sits directly above the (hot) leading core — "L2 cache banks
+    above the hottest units" — and the checker strip sits just above the
+    leading core's upper edge (its L1 D-cache and the L2 controller), so
+    the inter-core buffers land close to the leading core's cache
+    structures with short horizontal runs from the via pillars.  The
+    CORNER placement trades longer inter-core wires for a cooler spot in
+    the top bank row's corner; the displaced bank takes the central strip.
+    """
+    # Three full bank rows plus a strip band between rows 1 and 2 for the
+    # checker and inter-core buffers.  Bank row 0 sits directly above the
+    # (hot) leading core — "L2 cache banks above the hottest units" — and
+    # the checker strip sits above die 1's L2 banks, with the buffers
+    # beside it, close above the leading core's cache structures and the
+    # via pillars.  CORNER slides the checker to the band's end (longer
+    # inter-core wires, slightly cooler).
+    strip_y = 2 * _BANK_H             # 4.133
+    strip_h = _SMALL_DIE - 3 * _BANK_H  # 1.0505
+    rows_y = [0.0, _BANK_H, strip_y + strip_h]
+    if placement not in (CheckerPlacement.DEFAULT, CheckerPlacement.CORNER):
+        raise FloorplanError(f"unknown checker placement {placement!r}")
+
+    checker_w = 5.0 * checker_area_scale / strip_h
+    if placement == CheckerPlacement.CORNER:
+        checker_x = _SMALL_DIE - checker_w
+    else:
+        checker_x = (_SMALL_DIE - checker_w) / 2.0
+    plan.blocks.append(
+        Block(
+            "checker",
+            BlockKind.CHECKER,
+            Rect(checker_x, strip_y, checker_w, strip_h),
+            1,
+            checker_power_w,
+        )
+    )
+
+    if with_cache:
+        for i in range(9):
+            row, col = divmod(i, 3)
+            plan.blocks.append(
+                _bank(
+                    f"bank{6 + i}", col * _BANK_W, rows_y[row], 1, bank_powers_w[i]
+                )
+            )
+    else:
+        for row_i, y in enumerate(rows_y):
+            plan.blocks.append(
+                Block(
+                    f"inactive_row{row_i}",
+                    BlockKind.INACTIVE,
+                    Rect(0.0, y, _SMALL_DIE, _BANK_H),
+                    1,
+                    0.0,
+                )
+            )
+
+    _add_strip_buffers(plan, strip_y, strip_h)
+
+
+def _add_hetero_upper_die(
+    plan: Floorplan,
+    checker_power_w: float,
+    bank_powers_w: list[float],
+    bank_area_mm2: float,
+    checker_area_mm2: float,
+) -> None:
+    """Upper die in an older process (Section 4).
+
+    The die is tiled with full-width strips: 90 nm banks (~8.3 mm², SRAM
+    scaling) and the 90 nm checker (~9.6 mm², logic scaling).  The checker
+    strip sits above die 1's L2 bank region; full-width strips keep the
+    blocks as spread out as the 65 nm layout's, so the checker's lower
+    power density translates into the paper's temperature reduction.
+    """
+    bank_h = bank_area_mm2 / _SMALL_DIE
+    checker_h = checker_area_mm2 / _SMALL_DIE
+    bank_i = 0
+    y = 0.0
+    placed_checker = False
+    while bank_i < len(bank_powers_w) or not placed_checker:
+        if not placed_checker and y >= 3.4:
+            rect = Rect(0.0, y, _SMALL_DIE, checker_h)
+            plan.blocks.append(
+                Block("checker", BlockKind.CHECKER, rect, 1, checker_power_w)
+            )
+            y += checker_h
+            placed_checker = True
+        elif bank_i < len(bank_powers_w):
+            rect = Rect(0.0, y, _SMALL_DIE, bank_h)
+            plan.blocks.append(
+                Block(
+                    f"bank{6 + bank_i}",
+                    BlockKind.L2_BANK,
+                    rect,
+                    1,
+                    bank_powers_w[bank_i],
+                )
+            )
+            bank_i += 1
+            y += bank_h
+        else:
+            break
+    if y < _SMALL_DIE - 0.02:
+        plan.blocks.append(
+            Block(
+                "buffers",
+                BlockKind.BUFFERS,
+                Rect(0.0, y, _SMALL_DIE, _SMALL_DIE - y),
+                1,
+                0.2,
+            )
+        )
+
+
+def _add_strip_buffers(plan: Floorplan, strip_y: float, strip_h: float) -> None:
+    # Inter-core queue buffers flank whatever occupies the top strip (or
+    # fill it when it is empty).
+    taken = [b.rect for b in plan.blocks if b.die == 1 and b.rect.y == strip_y]
+    if not taken:
+        plan.blocks.append(
+            Block(
+                "buffers",
+                BlockKind.BUFFERS,
+                Rect(0.0, strip_y, _SMALL_DIE, strip_h),
+                1,
+                0.2,
+            )
+        )
+        return
+    left_edge = min(r.x for r in taken)
+    right_edge = max(r.x2 for r in taken)
+    if left_edge > 0.05:
+        plan.blocks.append(
+            Block(
+                "buffers",
+                BlockKind.BUFFERS,
+                Rect(0.0, strip_y, left_edge, strip_h),
+                1,
+                0.2,
+            )
+        )
+    if right_edge < _SMALL_DIE - 0.05:
+        plan.blocks.append(
+            Block(
+                "buffers_r",
+                BlockKind.BUFFERS,
+                Rect(right_edge, strip_y, _SMALL_DIE - right_edge, strip_h),
+                1,
+                0.1,
+            )
+        )

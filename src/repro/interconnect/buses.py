@@ -1,0 +1,54 @@
+"""Inter-core bus requirements: Table 4 of the paper.
+
+The leading core sends load values, branch outcomes and register
+results+operands to the checker; the checker sends store values back.  The
+per-cycle bandwidth — and hence the die-to-die via count in 3D — follows
+from the core's issue widths.  With the Table 1 core (4-wide issue, 2-wide
+load/store issue, 1 branch port): 128 + 1 + 128 + 768 = 1025 vias between
+the cores, plus a 384-bit pillar for the upper-die L2 banks (64-bit
+address + 256-bit data + 64-bit control).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BusSpec", "intercore_buses", "l2_pillar", "total_d2d_vias"]
+
+
+@dataclass(frozen=True)
+class BusSpec:
+    """One inter-die bus: its width and the block its via pillar sits in."""
+
+    name: str
+    width_bits: int
+    via_block: str   # floorplan block name where the pillar lands
+
+
+def intercore_buses(
+    load_issue_width: int = 2,
+    store_issue_width: int = 2,
+    branch_pred_ports: int = 1,
+    issue_width: int = 4,
+) -> list[BusSpec]:
+    """The four leading↔checker buses of Table 4.
+
+    Register values carry 192 bits per issued instruction: a 64-bit result
+    plus two 64-bit input operands for register value prediction.
+    """
+    return [
+        BusSpec("loads", load_issue_width * 64, "lsq"),
+        BusSpec("branch_outcome", branch_pred_ports * 1, "bpred"),
+        BusSpec("stores", store_issue_width * 64, "lsq"),
+        BusSpec("register_values", issue_width * 192, "regfile"),
+    ]
+
+
+def l2_pillar() -> BusSpec:
+    """The 384-bit pillar between the L2 controller and upper-die banks."""
+    return BusSpec("l2_transfer", 64 + 256 + 64, "l2_ctl")
+
+
+def total_d2d_vias(**kwargs) -> int:
+    """Total die-to-die via count (1409 for the Table 1 core)."""
+    return sum(b.width_bits for b in intercore_buses(**kwargs)) + l2_pillar().width_bits

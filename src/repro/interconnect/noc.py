@@ -1,0 +1,40 @@
+"""Orion-lite NoC router model for the NUCA grid (Section 3.1).
+
+The paper's routers are conventional 4-stage designs whose switch and
+virtual-channel allocation stages run in parallel, giving three router
+cycles plus one link cycle per hop; power and area come from Orion
+(Table 2: 0.296 W, 0.22 mm²).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.floorplan.blocks import ROUTER_AREA_MM2, ROUTER_POWER_W
+
+__all__ = ["RouterModel"]
+
+
+@dataclass(frozen=True)
+class RouterModel:
+    """One grid router."""
+
+    pipeline_stages: int = 4
+    router_cycles_per_hop: int = 3   # switch+VC allocation run in parallel
+    link_cycles_per_hop: int = 1
+    peak_power_w: float = ROUTER_POWER_W
+    area_mm2: float = ROUTER_AREA_MM2
+    static_fraction: float = 0.35
+
+    @property
+    def hop_latency_cycles(self) -> int:
+        """Total cycles per hop (4 in the paper's NUCA methodology)."""
+        return self.router_cycles_per_hop + self.link_cycles_per_hop
+
+    def power_w(self, flits_per_cycle: float = 1.0) -> float:
+        """Router power at a given utilisation."""
+        if not 0.0 <= flits_per_cycle <= 1.0:
+            raise ValueError("utilisation must be in [0, 1]")
+        static = self.peak_power_w * self.static_fraction
+        dynamic = self.peak_power_w * (1.0 - self.static_fraction)
+        return static + dynamic * flits_per_cycle

@@ -1,0 +1,122 @@
+"""NUCA grid topology derived from floorplan geometry.
+
+The NUCA model's per-bank hop counts (`repro.cache.nuca._BANK_HOPS`) are
+calibrated tables reproducing the paper's average hit latencies.  This
+module derives hop counts *from first principles*: build the bank-grid
+graph from floorplan adjacency (banks sharing an edge are linked; the
+controller attaches to the banks bordering it; upper-die banks hang off
+the via pillar above the controller) and run shortest paths.  A test
+asserts the two views agree, so the calibrated tables cannot silently
+drift from the geometry that justifies them.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.floorplan.layouts import Floorplan
+from repro.interconnect.wires import _adjacent
+
+__all__ = ["bank_grid_graph", "derive_bank_hops", "average_hit_latency"]
+
+_CTL = "l2_ctl"
+_PILLAR = "l2_pillar"
+
+
+def bank_grid_graph(plan: Floorplan) -> "nx.Graph":
+    """The NUCA network graph of a floorplan.
+
+    Nodes: the L2 controller, the via pillar (3D only), and every bank.
+    Edges: geometric adjacency on each die, controller→adjacent lower
+    banks, and the pillar linking the controller to the upper-die banks
+    directly above it.
+    """
+    graph = nx.Graph()
+    graph.add_node(_CTL)
+    banks = [b for b in plan.blocks if b.name.startswith("bank")]
+    ctl = plan.block(_CTL)
+    for bank in banks:
+        graph.add_node(bank.name)
+    # Same-die adjacency.  Links also span the checker/buffer strip that
+    # separates bank rows on the upper die (the wires route over it), so
+    # banks facing each other across a small gap are neighbours too.
+    max_gap_mm = 1.1
+    for i, a in enumerate(banks):
+        for b in banks[i + 1 :]:
+            if a.die != b.die:
+                continue
+            if _adjacent(a.rect, b.rect) or _faces_across_gap(
+                a.rect, b.rect, max_gap_mm
+            ):
+                graph.add_edge(a.name, b.name)
+    # Controller attachment on die 0.
+    for bank in banks:
+        if bank.die == 0 and _adjacent(bank.rect, ctl.rect):
+            graph.add_edge(_CTL, bank.name)
+    # The inter-die pillar surfaces above the controller; it reaches the
+    # upper-die banks whose footprint overlaps or borders the controller's.
+    upper = [b for b in banks if b.die == 1]
+    if upper:
+        graph.add_node(_PILLAR)
+        graph.add_edge(_CTL, _PILLAR)
+        attached = False
+        for bank in upper:
+            if (
+                bank.rect.intersection_area(ctl.rect) > 1e-9
+                or _adjacent(bank.rect, ctl.rect)
+            ):
+                graph.add_edge(_PILLAR, bank.name)
+                attached = True
+        if not attached:
+            # Fall back to the geometrically nearest upper bank.
+            nearest = min(
+                upper, key=lambda b: b.rect.manhattan_distance_to(ctl.rect)
+            )
+            graph.add_edge(_PILLAR, nearest.name)
+    return graph
+
+
+def _faces_across_gap(a, b, max_gap: float) -> bool:
+    """Rectangles that overlap in x (or y) and face each other across a
+    gap no wider than ``max_gap``."""
+    overlap_x = min(a.x2, b.x2) - max(a.x, b.x)
+    overlap_y = min(a.y2, b.y2) - max(a.y, b.y)
+    gap_y = max(a.y, b.y) - min(a.y2, b.y2)
+    gap_x = max(a.x, b.x) - min(a.x2, b.x2)
+    return (overlap_x > 0 and 0 < gap_y <= max_gap) or (
+        overlap_y > 0 and 0 < gap_x <= max_gap
+    )
+
+
+def derive_bank_hops(plan: Floorplan) -> dict[str, int]:
+    """Hop count from the requesting core to every bank, by shortest path.
+
+    The pillar edge is free (vertical vias add no grid hop); every
+    horizontal link costs one hop; and one ingress hop gets the request
+    from the core into the controller's router in the first place.
+    """
+    graph = bank_grid_graph(plan)
+    weights = {
+        (u, v): (0 if _PILLAR in (u, v) and _CTL in (u, v) else 1)
+        for u, v in graph.edges
+    }
+    nx.set_edge_attributes(graph, {e: {"weight": w} for e, w in weights.items()})
+    lengths = nx.single_source_dijkstra_path_length(graph, _CTL, weight="weight")
+    ingress = 1
+    return {
+        name: int(dist) + ingress
+        for name, dist in lengths.items()
+        if name.startswith("bank")
+    }
+
+
+def average_hit_latency(
+    plan: Floorplan, hop_cycles: int = 4, bank_access_cycles: int = 6
+) -> float:
+    """Mean L2 hit latency implied by the derived topology."""
+    hops = derive_bank_hops(plan)
+    if not hops:
+        raise ValueError("floorplan has no banks")
+    return sum(
+        h * hop_cycles + bank_access_cycles for h in hops.values()
+    ) / len(hops)

@@ -1,0 +1,22 @@
+"""Synthetic ISA: op classes, dynamic instructions, trace generation."""
+
+from repro.isa.instruction import (
+    MASK64,
+    Instruction,
+    compute_result,
+    load_value_for_address,
+)
+from repro.isa.opcodes import EXECUTION_LATENCY, FunctionalUnitPool, OpClass
+from repro.isa.trace import TraceGenerator, generate_trace
+
+__all__ = [
+    "MASK64",
+    "Instruction",
+    "compute_result",
+    "load_value_for_address",
+    "EXECUTION_LATENCY",
+    "FunctionalUnitPool",
+    "OpClass",
+    "TraceGenerator",
+    "generate_trace",
+]

@@ -1,0 +1,127 @@
+"""The dynamic instruction record flowing through the simulators.
+
+Instructions carry concrete 64-bit values so that the RMT checking protocol
+is mechanistic: the checker recomputes each result from its (predicted)
+operands and compares against the leading core's communicated result.  A
+fault that flips a bit anywhere in the datapath therefore produces a real
+mismatch rather than a modelled one.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import OpClass
+
+__all__ = ["Instruction", "compute_result", "load_value_for_address", "MASK64"]
+
+MASK64 = (1 << 64) - 1
+
+# Integer registers 0..31, floating-point registers 32..63.
+NUM_REGISTERS = 64
+
+
+def load_value_for_address(address: int) -> int:
+    """Deterministic synthetic memory contents: a 64-bit mix of the address.
+
+    Acts as the simulated RAM: every observer of the same address sees the
+    same value, without storing a byte array for multi-megabyte footprints.
+    """
+    x = (address * 0x9E3779B97F4A7C15) & MASK64
+    x ^= x >> 29
+    x = (x * 0xBF58476D1CE4E5B9) & MASK64
+    x ^= x >> 32
+    return x
+
+
+def compute_result(op: OpClass, a: int, b: int) -> int:
+    """The synthetic ALU: a cheap deterministic function per op class."""
+    if op is OpClass.IALU:
+        return (a + b) & MASK64
+    if op is OpClass.IMUL:
+        return (a * (b | 1)) & MASK64
+    if op is OpClass.FALU:
+        return (a ^ ((b << 1) & MASK64)) & MASK64
+    if op is OpClass.FMUL:
+        return ((a | 1) * (b ^ 0x5555555555555555)) & MASK64
+    if op is OpClass.BRANCH:
+        return 0
+    raise ValueError(f"compute_result not defined for {op}")
+
+
+class Instruction:
+    """One dynamic instruction of the synthetic trace.
+
+    Attributes:
+        seq: position in the dynamic instruction stream (0-based).
+        op: operation class.
+        dst: destination architectural register, or -1 if none.
+        src1, src2: source architectural registers (-1 if unused).
+        pc: instruction address (for I-cache and branch predictor indexing).
+        address: effective address for loads/stores, else 0.
+        taken: branch outcome (branches only).
+        target: branch target pc (branches only).
+        hard_branch: True if this branch's outcome is inherently
+            unpredictable (drawn at random by the trace generator).
+    """
+
+    __slots__ = (
+        "seq",
+        "op",
+        "dst",
+        "src1",
+        "src2",
+        "pc",
+        "address",
+        "taken",
+        "target",
+        "hard_branch",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        op: OpClass,
+        dst: int = -1,
+        src1: int = -1,
+        src2: int = -1,
+        pc: int = 0,
+        address: int = 0,
+        taken: bool = False,
+        target: int = 0,
+        hard_branch: bool = False,
+    ):
+        self.seq = seq
+        self.op = op
+        self.dst = dst
+        self.src1 = src1
+        self.src2 = src2
+        self.pc = pc
+        self.address = address
+        self.taken = taken
+        self.target = target
+        self.hard_branch = hard_branch
+
+    @property
+    def is_load(self) -> bool:
+        """True for loads."""
+        return self.op is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        """True for stores."""
+        return self.op is OpClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        """True for branches."""
+        return self.op is OpClass.BRANCH
+
+    @property
+    def writes_register(self) -> bool:
+        """True if the instruction produces a register result."""
+        return self.dst >= 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Instruction(seq={self.seq}, op={self.op.value}, dst={self.dst}, "
+            f"srcs=({self.src1},{self.src2}), pc={self.pc:#x})"
+        )

@@ -1,0 +1,101 @@
+"""Operation classes of the synthetic ISA.
+
+The simulator is trace-driven: it does not interpret a real ISA, but every
+instruction carries an operation class that determines which functional unit
+executes it and with what latency (SimpleScalar-like defaults).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["OpClass", "EXECUTION_LATENCY", "FunctionalUnitPool"]
+
+
+class OpClass(enum.Enum):
+    """Functional classes of instructions."""
+
+    IALU = "ialu"
+    IMUL = "imul"
+    FALU = "falu"
+    FMUL = "fmul"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+    @property
+    def is_fp(self) -> bool:
+        """True for floating-point operations."""
+        return self in (OpClass.FALU, OpClass.FMUL)
+
+    @property
+    def writes_register(self) -> bool:
+        """True if this class produces a register result."""
+        return self not in (OpClass.STORE, OpClass.BRANCH)
+
+
+# Execution latency in cycles once the instruction issues (memory latency for
+# loads is determined by the cache hierarchy, this is the base pipe latency).
+EXECUTION_LATENCY: dict[OpClass, int] = {
+    OpClass.IALU: 1,
+    OpClass.IMUL: 7,
+    OpClass.FALU: 4,
+    OpClass.FMUL: 4,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+}
+
+
+class FunctionalUnitPool:
+    """Counts of issue slots per functional-unit type for one cycle.
+
+    A fresh per-cycle budget is obtained with :meth:`new_cycle`; issuing an
+    instruction consumes a slot via :meth:`try_issue`.
+    """
+
+    def __init__(self, int_alus: int, int_mults: int, fp_alus: int, fp_mults: int):
+        self._capacity = {
+            OpClass.IALU: int_alus,
+            OpClass.IMUL: int_mults,
+            OpClass.FALU: fp_alus,
+            OpClass.FMUL: fp_mults,
+            # Memory and branch ops contend for integer ALU/AGU slots.
+            OpClass.LOAD: int_alus,
+            OpClass.STORE: int_alus,
+            OpClass.BRANCH: int_alus,
+        }
+        self._available: dict[OpClass, int] = {}
+        self.new_cycle()
+
+    def new_cycle(self) -> None:
+        """Reset the per-cycle slot budget."""
+        # LOAD/STORE/BRANCH share the IALU budget: track it via IALU.
+        self._available = {
+            OpClass.IALU: self._capacity[OpClass.IALU],
+            OpClass.IMUL: self._capacity[OpClass.IMUL],
+            OpClass.FALU: self._capacity[OpClass.FALU],
+            OpClass.FMUL: self._capacity[OpClass.FMUL],
+        }
+
+    def _pool_for(self, op: OpClass) -> OpClass:
+        if op in (OpClass.LOAD, OpClass.STORE, OpClass.BRANCH):
+            return OpClass.IALU
+        return op
+
+    def try_issue(self, op: OpClass) -> bool:
+        """Consume one slot for ``op`` if available; return success."""
+        pool = self._pool_for(op)
+        if self._available[pool] > 0:
+            self._available[pool] -= 1
+            return True
+        return False
+
+    def available(self, op: OpClass) -> int:
+        """Remaining slots this cycle for ``op``'s pool."""
+        return self._available[self._pool_for(op)]

@@ -1,0 +1,43 @@
+"""Power models: Wattch-lite cores, ITRS technology scaling, pipelining."""
+
+from repro.power.itrs import (
+    PUBLISHED_TABLE8,
+    TECH_NODES,
+    VARIABILITY_TABLE,
+    TechNode,
+    VariabilityEntry,
+    dynamic_power_ratio,
+    leakage_power_ratio,
+    relative_gate_delay,
+)
+from repro.power.pipeline import (
+    PUBLISHED_TABLE5,
+    PipelinePowerEntry,
+    PipelinePowerModel,
+)
+from repro.power.wattch import (
+    TURN_OFF_FACTOR,
+    CorePowerModel,
+    l2_bank_power_w,
+    rmt_power_overhead,
+    router_power_w,
+)
+
+__all__ = [
+    "PUBLISHED_TABLE8",
+    "TECH_NODES",
+    "VARIABILITY_TABLE",
+    "TechNode",
+    "VariabilityEntry",
+    "dynamic_power_ratio",
+    "leakage_power_ratio",
+    "relative_gate_delay",
+    "PUBLISHED_TABLE5",
+    "PipelinePowerEntry",
+    "PipelinePowerModel",
+    "TURN_OFF_FACTOR",
+    "CorePowerModel",
+    "l2_bank_power_w",
+    "rmt_power_overhead",
+    "router_power_w",
+]

@@ -1,0 +1,142 @@
+"""Wattch-style activity-based power model at 65 nm / 2 GHz / 1 V.
+
+Follows the paper's methodology (Section 3.1): Wattch's aggressive clock
+gating model ``cc3`` — an idle unit still dissipates a *turn-off factor* of
+0.2 of its gated power to account for 65 nm leakage — with per-unit peak
+powers anchored so the SPEC2k suite average matches Table 2's 35 W for the
+leading core.  Unit activities come from the timing simulator's statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.floorplan.blocks import (
+    L2_BANK_DYNAMIC_W_PER_ACCESS,
+    L2_BANK_STATIC_W,
+    LEADING_CORE_POWER_W,
+    ROUTER_POWER_W,
+    leading_core_unit_fractions,
+)
+from repro.isa.opcodes import OpClass
+
+if TYPE_CHECKING:  # avoid a circular import; only needed for annotations
+    from repro.core.leading import LeadingRunResult
+
+__all__ = [
+    "TURN_OFF_FACTOR",
+    "CorePowerBreakdown",
+    "CorePowerModel",
+    "l2_bank_power_w",
+    "router_power_w",
+    "rmt_power_overhead",
+]
+
+# Wattch cc3 with the paper's 65 nm leakage adjustment.
+TURN_OFF_FACTOR = 0.2
+
+# Peak (fully-active) leading-core power such that the suite-average
+# activity produces Table 2's 35 W average.
+_PEAK_CORE_POWER_W = 52.0
+_REFERENCE_IPC = 4.0  # fully-active reference: the machine width
+
+
+@dataclass
+class CorePowerBreakdown:
+    """Per-unit power of the leading core for one workload."""
+
+    total_w: float
+    per_unit_w: dict[str, float]
+
+
+class CorePowerModel:
+    """Maps a timing run's activity statistics to per-unit core power."""
+
+    def __init__(self, peak_power_w: float = _PEAK_CORE_POWER_W):
+        self.peak_power_w = peak_power_w
+        self._units = leading_core_unit_fractions()
+
+    # ------------------------------------------------------------------
+    def unit_activities(self, result: "LeadingRunResult") -> dict[str, float]:
+        """Activity factor (0..1) of each core unit for a finished run."""
+        counts = result.op_counts
+        cycles = max(1, result.cycles)
+        ipc = result.ipc
+
+        def rate(*ops: OpClass) -> float:
+            return sum(counts.get(op.value, 0) for op in ops) / cycles
+
+        generic = min(1.0, ipc / _REFERENCE_IPC)
+        mem_rate = min(1.0, rate(OpClass.LOAD, OpClass.STORE) / 2.0)
+        fp_rate = min(1.0, rate(OpClass.FALU, OpClass.FMUL) / 2.0)
+        int_rate = min(1.0, rate(OpClass.IALU, OpClass.IMUL) / 4.0)
+        branch_rate = min(1.0, rate(OpClass.BRANCH))
+        return {
+            "icache": generic,
+            "bpred": min(1.0, 4.0 * branch_rate),
+            "rename": generic,
+            "rob": generic,
+            "regfile": generic,
+            "int_exec": int_rate,
+            "fp_exec": fp_rate,
+            "lsq": mem_rate,
+            "dcache": mem_rate,
+            "clock_other": 1.0,  # the clock tree never gates fully
+        }
+
+    def core_power(self, result: "LeadingRunResult") -> CorePowerBreakdown:
+        """Total and per-unit leading core power for one workload run."""
+        activities = self.unit_activities(result)
+        per_unit: dict[str, float] = {}
+        for name, _area, power_frac in self._units:
+            peak = self.peak_power_w * power_frac
+            activity = activities[name]
+            per_unit[name] = peak * (
+                TURN_OFF_FACTOR + (1.0 - TURN_OFF_FACTOR) * activity
+            )
+        return CorePowerBreakdown(sum(per_unit.values()), per_unit)
+
+    def checker_power(
+        self,
+        nominal_power_w: float,
+        frequency_fraction: float,
+        leakage_fraction: float = 0.25,
+    ) -> float:
+        """Checker core power under DFS.
+
+        Dynamic power scales linearly with frequency (Section 2.1, DFS);
+        leakage does not.  ``nominal_power_w`` is the power at peak
+        frequency (the 7 W / 15 W design points).
+        """
+        dynamic = nominal_power_w * (1.0 - leakage_fraction)
+        leakage = nominal_power_w * leakage_fraction
+        return leakage + dynamic * frequency_fraction
+
+
+def l2_bank_power_w(accesses: int, cycles: int) -> float:
+    """One L2 bank's power: static plus access-rate-scaled dynamic (Table 2)."""
+    if cycles <= 0:
+        return L2_BANK_STATIC_W
+    rate = min(1.0, accesses / cycles)
+    return L2_BANK_STATIC_W + L2_BANK_DYNAMIC_W_PER_ACCESS * rate
+
+
+def router_power_w(num_routers: int) -> float:
+    """Total NoC router power (Table 2: 0.296 W per router)."""
+    return num_routers * ROUTER_POWER_W
+
+
+def rmt_power_overhead(
+    leading_power_w: float,
+    checker_power_w: float,
+    interconnect_power_w: float = 1.8,
+) -> float:
+    """Fractional power overhead of redundant multi-threading.
+
+    The Figure 1 summary cites less than 10% overhead for an efficient
+    checker; this helper computes the ratio for any operating point.
+    """
+    if leading_power_w <= 0:
+        raise ValueError("leading power must be positive")
+    return (checker_power_w + interconnect_power_w) / leading_power_w

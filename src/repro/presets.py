@@ -1,0 +1,105 @@
+"""Named design points: the exact configurations the paper evaluates.
+
+Each preset bundles a chip model, its powered floorplan, the simulation
+configs, and a description, so downstream code can say
+``load_preset("3d-2a-15w")`` instead of assembling the pieces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import (
+    CheckerCoreConfig,
+    ChipModel,
+    LeadingCoreConfig,
+    SystemConfig,
+)
+from repro.experiments.thermal import standard_floorplan
+from repro.floorplan.layouts import Floorplan
+
+__all__ = ["DesignPoint", "PRESETS", "load_preset", "preset_names"]
+
+
+@dataclass(frozen=True)
+class _PresetSpec:
+    chip: ChipModel
+    checker_power_w: float
+    description: str
+    checker_peak_ratio: float = 1.0
+    upper_die_tech_nm: int = 65
+
+
+PRESETS: dict[str, _PresetSpec] = {
+    "2d-a": _PresetSpec(
+        ChipModel.TWO_D_A, 0.0,
+        "Unreliable baseline: single die, 6 MB L2, no checker.",
+    ),
+    "2d-2a": _PresetSpec(
+        ChipModel.TWO_D_2A, 7.0,
+        "Equal-transistor 2D chip: checker + 15 MB L2 on one big die.",
+    ),
+    "3d-2a-7w": _PresetSpec(
+        ChipModel.THREE_D_2A, 7.0,
+        "The proposal, optimistic checker: 7 W in-order core + 9 MB L2 "
+        "snapped onto the 2d-a die.",
+    ),
+    "3d-2a-15w": _PresetSpec(
+        ChipModel.THREE_D_2A, 15.0,
+        "The proposal, pessimistic checker: 15 W in-order core.",
+    ),
+    "3d-checker": _PresetSpec(
+        ChipModel.THREE_D_CHECKER, 7.0,
+        "Stacked checker die with no extra cache (inactive silicon).",
+    ),
+    "hetero-90nm": _PresetSpec(
+        ChipModel.THREE_D_2A, 23.7,
+        "Section 4: the checker die in a 90 nm process — larger, more "
+        "power, lower density, capped at 1.4 GHz, more error-resilient.",
+        checker_peak_ratio=0.7,
+        upper_die_tech_nm=90,
+    ),
+}
+
+
+@dataclass
+class DesignPoint:
+    """A fully-assembled design point."""
+
+    name: str
+    description: str
+    chip: ChipModel
+    system: SystemConfig
+    floorplan: Floorplan
+    checker_peak_ratio: float = 1.0
+    leading: LeadingCoreConfig = field(default_factory=LeadingCoreConfig)
+    checker: CheckerCoreConfig = field(default_factory=CheckerCoreConfig)
+
+
+def preset_names() -> list[str]:
+    """Available preset names."""
+    return list(PRESETS)
+
+
+def load_preset(name: str) -> DesignPoint:
+    """Assemble one of the paper's design points by name."""
+    try:
+        spec = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; available: {preset_names()}"
+        ) from None
+    kwargs = {}
+    if spec.upper_die_tech_nm != 65:
+        kwargs["upper_die_tech_nm"] = spec.upper_die_tech_nm
+    plan = standard_floorplan(
+        spec.chip, checker_power_w=spec.checker_power_w, **kwargs
+    )
+    return DesignPoint(
+        name=name,
+        description=spec.description,
+        chip=spec.chip,
+        system=SystemConfig.for_chip(spec.chip, checker_power_w=spec.checker_power_w or 7.0),
+        floorplan=plan,
+        checker_peak_ratio=spec.checker_peak_ratio,
+    )

@@ -1,0 +1,30 @@
+"""Error-rate models: soft errors, timing errors, checker resilience."""
+
+from repro.reliability.margins import (
+    CheckerResilience,
+    checker_resilience,
+    compare_checker_processes,
+)
+from repro.reliability.ser import (
+    SER_PER_BIT_RELATIVE,
+    SoftErrorModel,
+    critical_charge_fc,
+    mbu_probability,
+    per_bit_ser,
+    total_chip_ser,
+)
+from repro.reliability.timing import TimingErrorModel, timing_error_rate
+
+__all__ = [
+    "CheckerResilience",
+    "checker_resilience",
+    "compare_checker_processes",
+    "SER_PER_BIT_RELATIVE",
+    "SoftErrorModel",
+    "critical_charge_fc",
+    "mbu_probability",
+    "per_bit_ser",
+    "total_chip_ser",
+    "TimingErrorModel",
+    "timing_error_rate",
+]

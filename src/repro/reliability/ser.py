@@ -1,0 +1,123 @@
+"""Soft-error-rate models: Figures 8 and 9 of the paper.
+
+Figure 8 (after Seifert et al. [33]) shows the per-bit SRAM soft error
+rate from neutrons and alpha particles across process nodes: the per-bit
+rate *decreases* slowly with scaling, but transistor density grows as
+1/F², so the per-chip rate *increases* — the paper's argument for why an
+older-process checker die is more error-resilient.
+
+Figure 9 shows the probability that an upset is a multi-bit upset (MBU)
+as a function of the cell's critical charge Q_crit: as Q_crit shrinks at
+newer nodes, one particle strike increasingly flips several adjacent
+bits, which ECC cannot always correct.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "SER_PER_BIT_RELATIVE",
+    "per_bit_ser",
+    "total_chip_ser",
+    "critical_charge_fc",
+    "mbu_probability",
+    "SoftErrorModel",
+]
+
+# Per-bit SRAM SER relative to 180 nm (neutron + alpha, Figure 8 trend:
+# roughly flat-to-declining per bit).
+SER_PER_BIT_RELATIVE: dict[int, float] = {
+    180: 1.00,
+    130: 0.82,
+    90: 0.68,
+    65: 0.55,
+    45: 0.46,
+}
+
+# Critical charge (fC) per SRAM cell: scales with node capacitance and
+# supply voltage (Q ≈ C·V), normalised to typical published values.
+_CRITICAL_CHARGE_FC: dict[int, float] = {
+    180: 8.0,
+    130: 4.5,
+    90: 2.5,
+    65: 1.5,
+    45: 1.0,
+}
+
+# Shape constant of the MBU probability curve (Figure 9): the probability
+# that an upset flips multiple bits rises steeply as Q_crit falls.
+_MBU_Q0_FC = 1.8
+_MBU_MAX = 0.35
+
+
+def per_bit_ser(feature_nm: int) -> float:
+    """Per-bit soft error rate relative to 180 nm."""
+    try:
+        return SER_PER_BIT_RELATIVE[feature_nm]
+    except KeyError:
+        raise KeyError(
+            f"no SER data for {feature_nm} nm; available: "
+            f"{sorted(SER_PER_BIT_RELATIVE)}"
+        ) from None
+
+
+def total_chip_ser(feature_nm: int, reference_nm: int = 180) -> float:
+    """Chip-level SER relative to ``reference_nm`` at constant die area.
+
+    Bit count grows as (reference/feature)², so the total rate rises even
+    as the per-bit rate falls — the "Total SER" line of Figure 8.
+    """
+    density = (reference_nm / feature_nm) ** 2
+    return per_bit_ser(feature_nm) / per_bit_ser(reference_nm) * density
+
+
+def critical_charge_fc(feature_nm: int) -> float:
+    """Critical charge of an SRAM cell at a node (fC)."""
+    try:
+        return _CRITICAL_CHARGE_FC[feature_nm]
+    except KeyError:
+        raise KeyError(f"no critical-charge data for {feature_nm} nm") from None
+
+
+def mbu_probability(q_crit_fc: float) -> float:
+    """Probability an upset is a multi-bit upset, given Q_crit (Figure 9).
+
+    Exponential saturation: negligible at high critical charge, rising
+    toward ``_MBU_MAX`` as Q_crit approaches zero.
+    """
+    if q_crit_fc < 0:
+        raise ValueError("critical charge cannot be negative")
+    return _MBU_MAX * math.exp(-q_crit_fc / _MBU_Q0_FC)
+
+
+@dataclass(frozen=True)
+class SoftErrorModel:
+    """Per-structure soft-error rates for fault-injection campaigns.
+
+    ``base_fit_per_mbit`` is the FIT rate (failures per 10⁹ hours) per
+    megabit of unprotected SRAM at the reference node; everything else
+    scales from the published curves.
+    """
+
+    feature_nm: int = 65
+    base_fit_per_mbit: float = 1000.0
+    reference_nm: int = 180
+
+    def fit_per_mbit(self) -> float:
+        """FIT per megabit at this node."""
+        rel = per_bit_ser(self.feature_nm) / per_bit_ser(self.reference_nm)
+        return self.base_fit_per_mbit * rel
+
+    def upset_probability_per_cycle(
+        self, bits: int, frequency_hz: float = 2.0e9
+    ) -> float:
+        """Probability of at least one upset in ``bits`` in one cycle."""
+        fit = self.fit_per_mbit() * bits / 1e6
+        upsets_per_second = fit / (1e9 * 3600.0)
+        return min(1.0, upsets_per_second / frequency_hz)
+
+    def mbu_fraction(self) -> float:
+        """Fraction of upsets that are multi-bit at this node."""
+        return mbu_probability(critical_charge_fc(self.feature_nm))

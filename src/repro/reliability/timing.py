@@ -1,0 +1,101 @@
+"""Dynamic timing-error model: slack versus variability (Sections 3.5/4).
+
+Circuit delay in each pipeline stage is modelled as a Gaussian whose
+spread comes from the ITRS circuit-performance variability (Table 6) plus
+dynamic conditions (temperature, supply noise, coupling).  A dynamic
+timing error occurs when the realised delay exceeds the cycle time; a
+checker core running at a fraction of its peak frequency has a cycle that
+is proportionally longer while the circuit delay is unchanged — the paper's
+argument that the DFS-throttled checker enjoys large natural margins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.power.itrs import VARIABILITY_TABLE, relative_gate_delay
+
+__all__ = ["TimingErrorModel", "timing_error_rate"]
+
+
+def _phi(x: float) -> float:
+    """Standard normal CDF."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+@dataclass(frozen=True)
+class TimingErrorModel:
+    """Per-stage timing-error probability model for one process node.
+
+    ``sigma_fraction`` is the standard deviation of stage delay as a
+    fraction of nominal delay.  By default it derives from Table 6's
+    circuit performance variability (treating the published +/- figure as
+    a 3-sigma bound).
+    """
+
+    feature_nm: int = 65
+    design_margin: float = 0.10       # nominal delay = (1-margin) x cycle
+    sigma_fraction: float | None = None
+    pipeline_stages: int = 12
+    # Fraction of the ITRS variability that is *dynamic* (temperature,
+    # supply noise, coupling); the static part is absorbed by the design
+    # margin at timing closure.
+    dynamic_variability_fraction: float = 0.2
+
+    def sigma(self) -> float:
+        """Delay sigma as a fraction of the nominal stage delay."""
+        if self.sigma_fraction is not None:
+            return self.sigma_fraction
+        node = self.feature_nm if self.feature_nm != 90 else 80
+        variability = VARIABILITY_TABLE[node].circuit_performance_variability
+        return variability / 3.0 * self.dynamic_variability_fraction
+
+    def nominal_delay_fraction(self, reference_nm: int | None = None) -> float:
+        """Nominal stage delay as a fraction of the *peak* cycle time.
+
+        If the circuit is implemented at an older node but must meet the
+        same peak cycle as ``reference_nm``, the fraction exceeds 1 and the
+        peak frequency must drop (Section 4's 2 GHz → 1.4 GHz).
+        """
+        base = 1.0 - self.design_margin
+        if reference_nm is None or reference_nm == self.feature_nm:
+            return base
+        return base * relative_gate_delay(self.feature_nm, reference_nm)
+
+    def stage_error_probability(self, frequency_fraction: float,
+                                reference_nm: int | None = None) -> float:
+        """P(stage delay > cycle) at ``frequency_fraction`` of peak."""
+        if not 0.0 < frequency_fraction <= 1.0 + 1e-9:
+            raise ValueError("frequency fraction must be in (0, 1]")
+        cycle = 1.0 / frequency_fraction            # in units of peak cycle
+        nominal = self.nominal_delay_fraction(reference_nm)
+        z = (cycle - nominal) / (self.sigma() * nominal)
+        return 1.0 - _phi(z)
+
+    def error_rate_per_instruction(self, frequency_fraction: float,
+                                   reference_nm: int | None = None) -> float:
+        """P(at least one stage misses timing for one instruction)."""
+        p = self.stage_error_probability(frequency_fraction, reference_nm)
+        return 1.0 - (1.0 - p) ** self.pipeline_stages
+
+    def slack_fraction(self, frequency_fraction: float,
+                       reference_nm: int | None = None) -> float:
+        """Fraction of the cycle left as slack at a frequency level.
+
+        At 0.6x peak frequency the slack is ≈ 46% of the cycle — the
+        "plenty of slack" observation of Section 3.5.
+        """
+        cycle = 1.0 / frequency_fraction
+        nominal = self.nominal_delay_fraction(reference_nm)
+        return max(0.0, (cycle - nominal) / cycle)
+
+
+def timing_error_rate(
+    frequency_fraction: float,
+    feature_nm: int = 65,
+    reference_nm: int | None = None,
+) -> float:
+    """Convenience wrapper: per-instruction timing-error probability."""
+    model = TimingErrorModel(feature_nm=feature_nm)
+    return model.error_rate_per_instruction(frequency_fraction, reference_nm)

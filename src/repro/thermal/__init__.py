@@ -1,0 +1,30 @@
+"""HotSpot-like steady-state thermal modelling of the 2D and 3D chips."""
+
+from repro.thermal.dtm import DtmController, DtmResult
+from repro.thermal.grid import GridThermalModel
+from repro.thermal.hotspot import ChipThermalModel, ThermalResult, solve_floorplan
+from repro.thermal.leakage import (
+    LeakageFeedbackResult,
+    leakage_scale,
+    solve_with_leakage_feedback,
+)
+from repro.thermal.materials import SINK_PLATE, SPREADER, Layer, stack_for_2d, stack_for_3d
+from repro.thermal.transient import TransientThermalModel
+
+__all__ = [
+    "DtmController",
+    "DtmResult",
+    "GridThermalModel",
+    "ChipThermalModel",
+    "ThermalResult",
+    "solve_floorplan",
+    "LeakageFeedbackResult",
+    "leakage_scale",
+    "solve_with_leakage_feedback",
+    "SINK_PLATE",
+    "SPREADER",
+    "Layer",
+    "stack_for_2d",
+    "stack_for_3d",
+    "TransientThermalModel",
+]

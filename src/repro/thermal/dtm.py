@@ -1,0 +1,82 @@
+"""Dynamic thermal management (the paper's Discussion paragraph).
+
+When the DFS heuristic keeps the checker fast enough to never stall the
+leader, temperatures rise and can cross a thermal trigger; the package
+then throttles voltage/frequency until the chip re-enters its envelope —
+"thermal emergencies and lower performance".  This controller computes
+the steady-state throttle for a given trigger temperature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.floorplan.layouts import Floorplan
+from repro.thermal.hotspot import ChipThermalModel
+
+__all__ = ["DtmResult", "DtmController"]
+
+
+@dataclass
+class DtmResult:
+    """Steady-state DTM operating point."""
+
+    trigger_c: float
+    unthrottled_peak_c: float
+    frequency_fraction: float      # 1.0 = no emergency
+    throttled_peak_c: float
+
+    @property
+    def emergency(self) -> bool:
+        """Whether the trigger was crossed at full speed."""
+        return self.frequency_fraction < 1.0
+
+    @property
+    def performance_cost(self) -> float:
+        """Upper-bound slowdown (actual loss is less; memory is unscaled)."""
+        return 1.0 - self.frequency_fraction
+
+
+class DtmController:
+    """Finds the V/f throttle that holds a floorplan at its trigger."""
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        trigger_c: float = 85.0,
+        power_frequency_exponent: float = 2.6,
+        thermal_config=None,
+    ):
+        self.floorplan = floorplan
+        self.trigger_c = trigger_c
+        self.exponent = power_frequency_exponent
+        self.model = ChipThermalModel(floorplan, thermal_config)
+
+    def _peak_at(self, ratio: float) -> float:
+        scaled = self.floorplan.scaled_power(ratio**self.exponent)
+        powers = {b.name: b.power_w for b in scaled.blocks}
+        saved = self.model.floorplan.distributed_power_w
+        self.model.floorplan.distributed_power_w = scaled.distributed_power_w
+        try:
+            return self.model.solve(powers).peak_c
+        finally:
+            self.model.floorplan.distributed_power_w = saved
+
+    def steady_state(self, tolerance_c: float = 0.05) -> DtmResult:
+        """Binary-search the frequency that meets the trigger."""
+        full = self._peak_at(1.0)
+        if full <= self.trigger_c:
+            return DtmResult(self.trigger_c, full, 1.0, full)
+        low, high = 0.3, 1.0
+        peak = full
+        for _ in range(30):
+            mid = (low + high) / 2.0
+            peak = self._peak_at(mid)
+            if peak > self.trigger_c + tolerance_c:
+                high = mid
+            else:
+                low = mid
+            if high - low < 1e-3:
+                break
+        ratio = (low + high) / 2.0
+        return DtmResult(self.trigger_c, full, ratio, self._peak_at(ratio))

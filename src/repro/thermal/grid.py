@@ -1,0 +1,174 @@
+"""Steady-state 3D resistive-grid thermal solver (HotSpot grid model).
+
+Each layer is discretised into a rows×cols grid of cells.  Cells conduct
+laterally to their four neighbours and vertically to the cells above/below;
+the bottom face convects to ambient through the heat-sink resistance and
+the top face through a (much weaker) secondary package path.  Solving
+``G·T = P + G_amb·T_amb`` yields the steady-state temperature field.
+
+The conductance matrix depends only on geometry, so it is LU-factorised
+once and reused across power maps (the experiment drivers sweep dozens of
+power assignments over the same stack).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import coo_matrix, csc_matrix
+from scipy.sparse.linalg import splu
+
+from repro.common.errors import ThermalModelError
+from repro.thermal.materials import Layer
+
+__all__ = ["GridThermalModel"]
+
+
+class GridThermalModel:
+    """Steady-state conduction solver over a layered grid."""
+
+    def __init__(
+        self,
+        layers: list[Layer],
+        width_m: float,
+        height_m: float,
+        rows: int,
+        cols: int,
+        sink_r_k_mm2_per_w: float,
+        secondary_r_k_mm2_per_w: float,
+        ambient_c: float,
+    ):
+        if not layers:
+            raise ThermalModelError("stack needs at least one layer")
+        if rows < 2 or cols < 2:
+            raise ThermalModelError("grid must be at least 2x2")
+        self.layers = list(layers)
+        self.rows = rows
+        self.cols = cols
+        self.width_m = width_m
+        self.height_m = height_m
+        self.ambient_c = ambient_c
+        self._n_layer = rows * cols
+        self._n = self._n_layer * len(layers)
+
+        dx = width_m / cols
+        dy = height_m / rows
+        cell_area_m2 = dx * dy
+        cell_area_mm2 = cell_area_m2 * 1e6
+        self._sink_g = cell_area_mm2 / sink_r_k_mm2_per_w
+        self._secondary_g = cell_area_mm2 / secondary_r_k_mm2_per_w
+
+        rows_idx: list[np.ndarray] = []
+        cols_idx: list[np.ndarray] = []
+        vals: list[np.ndarray] = []
+        diag = np.zeros(self._n)
+
+        def add_pairs(a: np.ndarray, b: np.ndarray, g: np.ndarray) -> None:
+            rows_idx.extend((a, b))
+            cols_idx.extend((b, a))
+            vals.extend((-g, -g))
+            np.add.at(diag, a, g)
+            np.add.at(diag, b, g)
+
+        for li, layer in enumerate(self.layers):
+            base = li * self._n_layer
+            k = layer.conductivity_w_per_mk
+            t = layer.thickness_m
+            idx = base + np.arange(self._n_layer)
+            grid = idx.reshape(rows, cols)
+            # Lateral east-west: cross-section dy*t over distance dx.
+            g_ew = k * dy * t / dx * layer.lateral_scale
+            a = grid[:, :-1].ravel()
+            b = grid[:, 1:].ravel()
+            add_pairs(a, b, np.full(a.size, g_ew))
+            # Lateral north-south.
+            g_ns = k * dx * t / dy * layer.lateral_scale
+            a = grid[:-1, :].ravel()
+            b = grid[1:, :].ravel()
+            add_pairs(a, b, np.full(a.size, g_ns))
+            # Vertical to the next layer: series of half-thickness slabs.
+            if li + 1 < len(self.layers):
+                upper = self.layers[li + 1]
+                r_vert = (
+                    t / 2.0 * layer.resistivity_mk_per_w
+                    + upper.thickness_m / 2.0 * upper.resistivity_mk_per_w
+                ) / cell_area_m2
+                g_vert = 1.0 / r_vert
+                a = idx
+                b = idx + self._n_layer
+                add_pairs(a, b, np.full(a.size, g_vert))
+
+        # Boundary conductances to ambient (added to the diagonal only; the
+        # ambient node is folded into the right-hand side).
+        bottom = np.arange(self._n_layer)
+        top = (len(self.layers) - 1) * self._n_layer + np.arange(self._n_layer)
+        # Half-thickness conduction from the cell centre to the face, in
+        # series with the convective film.
+        bottom_layer = self.layers[0]
+        r_half_bot = (
+            bottom_layer.thickness_m / 2.0 * bottom_layer.resistivity_mk_per_w
+        ) / cell_area_m2
+        g_bot = 1.0 / (r_half_bot + 1.0 / self._sink_g)
+        top_layer = self.layers[-1]
+        r_half_top = (
+            top_layer.thickness_m / 2.0 * top_layer.resistivity_mk_per_w
+        ) / cell_area_m2
+        g_top = 1.0 / (r_half_top + 1.0 / self._secondary_g)
+        diag[bottom] += g_bot
+        diag[top] += g_top
+        self._g_bot = g_bot
+        self._g_top = g_top
+        self._bottom_idx = bottom
+        self._top_idx = top
+        # Public aliases for composing solvers (transient stepping).
+        self.bottom_conductance = g_bot
+        self.top_conductance = g_top
+        self.bottom_indices = bottom
+        self.top_indices = top
+
+        all_rows = np.concatenate(rows_idx + [np.arange(self._n)])
+        all_cols = np.concatenate(cols_idx + [np.arange(self._n)])
+        all_vals = np.concatenate(vals + [diag])
+        # The assembled conductance matrix is kept (the transient solver
+        # composes it with a capacitance matrix).
+        self.matrix = csc_matrix(
+            coo_matrix((all_vals, (all_rows, all_cols)), shape=(self._n, self._n))
+        )
+        self._lu = splu(self.matrix)
+
+    # ------------------------------------------------------------------
+    def layer_index(self, name: str) -> int:
+        """Index of a layer by name."""
+        for i, layer in enumerate(self.layers):
+            if layer.name == name:
+                return i
+        raise KeyError(f"no layer named {name!r}")
+
+    def solve(self, power_maps: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Solve for temperatures given per-layer power maps (watts/cell).
+
+        ``power_maps`` maps layer names to (rows, cols) arrays; layers not
+        mentioned dissipate nothing.  Returns temperature grids (°C) for
+        every layer.
+        """
+        rhs = np.zeros(self._n)
+        for name, grid in power_maps.items():
+            li = self.layer_index(name)
+            if not self.layers[li].has_power:
+                raise ThermalModelError(f"layer {name!r} cannot dissipate power")
+            if grid.shape != (self.rows, self.cols):
+                raise ThermalModelError(
+                    f"power map for {name!r} has shape {grid.shape}, "
+                    f"expected {(self.rows, self.cols)}"
+                )
+            if np.any(grid < 0):
+                raise ThermalModelError("negative cell power")
+            rhs[li * self._n_layer : (li + 1) * self._n_layer] += grid.ravel()
+        rhs[self._bottom_idx] += self._g_bot * self.ambient_c
+        rhs[self._top_idx] += self._g_top * self.ambient_c
+        temps = self._lu.solve(rhs)
+        return {
+            layer.name: temps[
+                i * self._n_layer : (i + 1) * self._n_layer
+            ].reshape(self.rows, self.cols)
+            for i, layer in enumerate(self.layers)
+        }

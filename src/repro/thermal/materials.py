@@ -1,0 +1,118 @@
+"""Layer definitions and material constants for the thermal stacks.
+
+Material resistivities and layer thicknesses come from Table 3 of the paper
+(which follows [2, 26]).  A copper heat spreader is added below the bottom
+die — HotSpot's package model does the same — so that hot spots spread
+laterally before reaching the convective sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import ThermalConfig
+
+__all__ = ["Layer", "stack_for_2d", "stack_for_3d", "SPREADER", "SINK_PLATE"]
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One horizontal slab of the die stack.
+
+    ``lateral_scale`` multiplies the in-plane conductance only: the heat
+    sink base extends far beyond the die (a 60 mm sink over a ~7 mm die in
+    HotSpot's package), so heat entering the die-sized model of that layer
+    spreads as if the layer were much wider.  1.0 for on-die layers.
+    """
+
+    name: str
+    thickness_m: float
+    resistivity_mk_per_w: float   # (m·K)/W — conductivity is its inverse
+    has_power: bool = False       # True for active silicon layers
+    lateral_scale: float = 1.0
+
+    @property
+    def conductivity_w_per_mk(self) -> float:
+        """Thermal conductivity in W/(m·K)."""
+        return 1.0 / self.resistivity_mk_per_w
+
+
+# Copper heat spreader and heat-sink base plate (real copper, k ≈ 400
+# W/mK).  HotSpot's package model uses a 1 mm spreader and a ~7 mm sink
+# base; they spread hot spots laterally before the convective interface.
+# The spreader is ~30 mm square and the sink base ~60 mm square over a
+# ~7-10 mm die: heat entering them spreads into a much wider cross-section
+# than the die-sized grid models, captured by the lateral scale factors.
+SPREADER = Layer("spreader", 1e-3, 1.0 / 400.0, lateral_scale=17.0)
+SINK_PLATE = Layer("sink_plate", 3e-3, 1.0 / 400.0, lateral_scale=68.0)
+
+
+def _split(layer: Layer, parts: int) -> list[Layer]:
+    """Subdivide a thick layer into equal sublayers.
+
+    A single grid cell through a 750 um slab cannot represent the 3D
+    spreading cone under a small hot spot; 4-5 sublayers resolve it.
+    """
+    return [
+        Layer(
+            f"{layer.name}_{chr(ord('a') + i)}",
+            layer.thickness_m / parts,
+            layer.resistivity_mk_per_w,
+            lateral_scale=layer.lateral_scale,
+        )
+        for i in range(parts)
+    ]
+
+
+def stack_for_2d(config: ThermalConfig) -> list[Layer]:
+    """Layer stack for a single-die chip, heat sink side first.
+
+    sink plate → spreader → bulk Si → active Si (power) → metal.
+    """
+    return [
+        *_split(SINK_PLATE, 3),
+        SPREADER,
+        *_split(Layer("bulk_si_1", config.bulk_si_thickness_die1_m,
+                      config.si_resistivity_mk_per_w), 5),
+        Layer("active_1", config.active_layer_thickness_m,
+              config.si_resistivity_mk_per_w, has_power=True),
+        Layer("metal_1", config.metal_layer_thickness_m,
+              config.cu_resistivity_mk_per_w,
+              lateral_scale=_METAL_LATERAL_SCALE),
+    ]
+
+
+# Metal stacks conduct much better in-plane (continuous copper wires) than
+# through-plane (dielectric between layers, pierced by vias): Table 3's
+# 0.0833 (mK)/W is the through-plane effective value; in-plane is ~20x.
+_METAL_LATERAL_SCALE = 20.0
+
+
+def stack_for_3d(config: ThermalConfig) -> list[Layer]:
+    """Layer stack for a face-to-face bonded two-die chip (Figure 2b).
+
+    Heat sink side first: spreader → bulk Si #1 → active Si #1 (power) →
+    metal #1 → die-to-die vias → metal #2 → active Si #2 (power) →
+    bulk Si #2.  The d2d resistivity already accounts for air cavities and
+    interconnect density (Table 3).
+    """
+    return [
+        *_split(SINK_PLATE, 3),
+        SPREADER,
+        *_split(Layer("bulk_si_1", config.bulk_si_thickness_die1_m,
+                      config.si_resistivity_mk_per_w), 5),
+        Layer("active_1", config.active_layer_thickness_m,
+              config.si_resistivity_mk_per_w, has_power=True),
+        Layer("metal_1", config.metal_layer_thickness_m,
+              config.cu_resistivity_mk_per_w,
+              lateral_scale=_METAL_LATERAL_SCALE),
+        Layer("d2d_via", config.d2d_via_thickness_m,
+              config.d2d_resistivity_mk_per_w),
+        Layer("metal_2", config.metal_layer_thickness_m,
+              config.cu_resistivity_mk_per_w,
+              lateral_scale=_METAL_LATERAL_SCALE),
+        Layer("active_2", config.active_layer_thickness_m,
+              config.si_resistivity_mk_per_w, has_power=True),
+        Layer("bulk_si_2", config.bulk_si_thickness_die2_m,
+              config.si_resistivity_mk_per_w),
+    ]

@@ -1,0 +1,115 @@
+"""Transient thermal simulation: heat capacities + implicit time stepping.
+
+The steady-state grid answers "where does the design settle"; DTM and
+workload phase behaviour need the *trajectory*.  Each grid cell gets a
+heat capacity from its material's volumetric specific heat, and the
+solver steps ``C dT/dt = P - G(T - boundary)`` with backward Euler —
+unconditionally stable, so milliseconds-long thermal transients take a
+handful of sparse solves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import csc_matrix, diags
+from scipy.sparse.linalg import splu
+
+from repro.common.errors import ThermalModelError
+from repro.thermal.grid import GridThermalModel
+
+__all__ = ["TransientThermalModel", "VOLUMETRIC_HEAT_CAPACITY"]
+
+# Volumetric heat capacity, J/(m^3 K).
+VOLUMETRIC_HEAT_CAPACITY = {
+    "si": 1.75e6,
+    "cu": 3.45e6,
+}
+
+
+def _capacity_for(layer) -> float:
+    """Volumetric heat capacity for a layer, by material guess from name."""
+    name = layer.name
+    if "si" in name or "active" in name:
+        return VOLUMETRIC_HEAT_CAPACITY["si"]
+    # metal stacks, spreader, sink, d2d vias: copper-dominated
+    return VOLUMETRIC_HEAT_CAPACITY["cu"]
+
+
+class TransientThermalModel:
+    """Backward-Euler transient stepping over a :class:`GridThermalModel`.
+
+    The grid's conductance matrix ``G`` (with its boundary terms already
+    on the diagonal) is reused; a diagonal capacitance matrix ``C`` comes
+    from layer thickness × cell area × volumetric heat capacity.
+    """
+
+    def __init__(self, grid: GridThermalModel, timestep_s: float = 1e-4):
+        if timestep_s <= 0:
+            raise ThermalModelError("timestep must be positive")
+        self.grid = grid
+        self.timestep_s = timestep_s
+        cell_area = (grid.width_m / grid.cols) * (grid.height_m / grid.rows)
+        caps = []
+        for layer in grid.layers:
+            caps.extend(
+                [_capacity_for(layer) * layer.thickness_m * cell_area]
+                * (grid.rows * grid.cols)
+            )
+        self._capacity = np.array(caps)
+
+        matrix = grid.matrix
+        c_over_dt = diags(self._capacity / timestep_s)
+        self._stepper = splu(csc_matrix(c_over_dt + matrix))
+        self._c_over_dt = self._capacity / timestep_s
+        self._n = matrix.shape[0]
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> np.ndarray:
+        """All cells at ambient."""
+        return np.full(self._n, self.grid.ambient_c)
+
+    def _rhs_static(self, power_maps: dict[str, np.ndarray]) -> np.ndarray:
+        rhs = np.zeros(self._n)
+        per_layer = self.grid.rows * self.grid.cols
+        for name, grid_map in power_maps.items():
+            li = self.grid.layer_index(name)
+            if not self.grid.layers[li].has_power:
+                raise ThermalModelError(f"layer {name!r} cannot dissipate power")
+            rhs[li * per_layer : (li + 1) * per_layer] += grid_map.ravel()
+        rhs[self.grid.bottom_indices] += self.grid.bottom_conductance * self.grid.ambient_c
+        rhs[self.grid.top_indices] += self.grid.top_conductance * self.grid.ambient_c
+        return rhs
+
+    def step(
+        self, state: np.ndarray, power_maps: dict[str, np.ndarray]
+    ) -> np.ndarray:
+        """Advance one timestep; returns the new temperature state."""
+        rhs = self._rhs_static(power_maps) + self._c_over_dt * state
+        return self._stepper.solve(rhs)
+
+    def run(
+        self,
+        power_maps: dict[str, np.ndarray],
+        duration_s: float,
+        state: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, list[float]]:
+        """Simulate ``duration_s`` of constant power.
+
+        Returns the final state and the peak temperature after each step.
+        """
+        if state is None:
+            state = self.initial_state()
+        peaks: list[float] = []
+        steps = max(1, int(round(duration_s / self.timestep_s)))
+        for _ in range(steps):
+            state = self.step(state, power_maps)
+            peaks.append(float(state.max()))
+        return state, peaks
+
+    def peak_of(self, state: np.ndarray, layer_name: str) -> float:
+        """Peak temperature within one layer of a state vector."""
+        per_layer = self.grid.rows * self.grid.cols
+        li = self.grid.layer_index(layer_name)
+        return float(state[li * per_layer : (li + 1) * per_layer].max())

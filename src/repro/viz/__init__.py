@@ -1,0 +1,5 @@
+"""Text-based visualization: heatmaps, floorplan maps, bar charts."""
+
+from repro.viz.ascii import bar_chart, floorplan_map, heatmap
+
+__all__ = ["bar_chart", "floorplan_map", "heatmap"]

@@ -1,0 +1,15 @@
+"""SPEC2k-like workload profiles and suite helpers."""
+
+from repro.workloads.profiles import (
+    SPEC2K_PROFILES,
+    WorkloadProfile,
+    get_profile,
+    spec2k_suite,
+)
+
+__all__ = [
+    "SPEC2K_PROFILES",
+    "WorkloadProfile",
+    "get_profile",
+    "spec2k_suite",
+]

@@ -1,0 +1,77 @@
+"""Ablation experiments over the checker's design choices."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    dfs_sensitivity,
+    hard_error_failover,
+    interrupt_cost,
+    rvp_ablation,
+    slack_sweep,
+    tmr_comparison,
+    transfer_latency_ablation,
+)
+from repro.experiments.runner import SimulationWindow
+
+TINY = SimulationWindow(warmup=2000, measured=8000)
+
+
+def test_rvp_lowers_required_frequency():
+    """Section 2.1: RVP gives the in-order checker high ILP, letting DFS
+    run it slower for the same slack."""
+    result = rvp_ablation(benchmark="mcf", window=TINY)
+    assert result["without_rvp_mean_frequency"] > result["with_rvp_mean_frequency"]
+
+
+def test_slack_sweep_monotone_backpressure():
+    rows = slack_sweep(slacks=(25, 100, 400), window=TINY)
+    backpressure = [r["backpressure"] for r in rows]
+    assert backpressure[0] >= backpressure[-1]
+    # The paper-size slack (200-400) keeps the leader essentially free.
+    assert rows[-1]["leading_ipc"] >= rows[0]["leading_ipc"] - 0.05
+
+
+def test_dfs_sensitivity_returns_all_intervals():
+    rows = dfs_sensitivity(intervals=(500, 2000), window=TINY)
+    assert [r["interval_cycles"] for r in rows] == [500, 2000]
+    for r in rows:
+        assert 0.1 <= r["mean_frequency"] <= 1.0
+
+
+def test_transfer_latency_barely_matters():
+    """The via's latency advantage is absorbed by the slack: the 3D win
+    is wiring and power, not cycles."""
+    result = transfer_latency_ablation(window=TINY)
+    assert result["via_1_cycle_leading_ipc"] > 0
+    # Different chips (cache sizes) dominate; frequencies remain sane.
+    assert 0.1 <= result["wire_4_cycles_mean_frequency"] <= 1.0
+
+
+def test_hard_error_failover_costs_performance():
+    result = hard_error_failover(window=TINY)
+    assert result["failover_in_order_ipc"] < result["out_of_order_ipc"]
+    assert 0.1 < result["slowdown"] < 0.9
+
+
+def test_interrupt_cost_is_modest():
+    """Section 2: waiting for the trailer at interrupts is affordable —
+    draining ~80 instructions of slack per interrupt costs well under 1%
+    at realistic interrupt rates."""
+    result = interrupt_cost(window=TINY)
+    assert result["mean_slack_instructions"] > 0
+    assert result["drain_cycles_per_interrupt"] > 0
+    assert result["throughput_overhead"] < 0.05
+
+
+def test_interrupt_cost_scales_with_rate():
+    low = interrupt_cost(window=TINY, interrupt_rate_per_million=10.0)
+    high = interrupt_cost(window=TINY, interrupt_rate_per_million=1000.0)
+    assert high["throughput_overhead"] > low["throughput_overhead"]
+
+
+def test_tmr_comparison():
+    result = tmr_comparison(instructions=8000)
+    assert result["rmt_safe"] == 1.0
+    assert result["tmr_safe"] == 1.0
+    assert result["tmr_masked_errors"] > 0
+    assert result["tmr_execution_overhead"] > result["rmt_execution_overhead"]

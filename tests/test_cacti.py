@@ -1,0 +1,65 @@
+"""CACTI-lite SRAM estimates."""
+
+import pytest
+
+from repro.cache.cacti import CactiModel, logic_area_scale
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CactiModel()
+
+
+def test_anchor_matches_table2(model):
+    bank = model.estimate_bank()
+    assert bank.area_mm2 == pytest.approx(5.0)
+    assert bank.dynamic_power_w_per_access == pytest.approx(0.732)
+    assert bank.static_power_w == pytest.approx(0.376)
+    assert bank.access_cycles == 6
+
+
+def test_90nm_bank_is_bigger_leakier_per_dynamic(model):
+    b65 = model.estimate_bank(tech_nm=65)
+    b90 = model.estimate_bank(tech_nm=90)
+    assert b90.area_mm2 > b65.area_mm2
+    assert b90.dynamic_power_w_per_access > b65.dynamic_power_w_per_access
+    assert b90.static_power_w < b65.static_power_w  # old process leaks less
+
+
+def test_90nm_access_takes_one_extra_cycle(model):
+    # Section 4: "The access time for each L2 cache bank in the older
+    # process increases by a single cycle."
+    assert model.estimate_bank(tech_nm=90).access_cycles == 7
+
+
+def test_section4_area_budget(model):
+    """The 65 nm upper die holds checker + 9 banks; at 90 nm, checker + 5."""
+    die_area = 7.25 * 7.25
+    checker_90 = 5.0 * logic_area_scale(90)
+    bank_90 = model.estimate_bank(tech_nm=90).area_mm2
+    banks_fitting = int((die_area - checker_90) / bank_90)
+    assert banks_fitting == 5
+
+
+def test_logic_area_scale_is_quadratic():
+    assert logic_area_scale(90) == pytest.approx((90 / 65) ** 2)
+    assert logic_area_scale(65) == pytest.approx(1.0)
+
+
+def test_size_scaling(model):
+    half = model.estimate_bank(size_bytes=512 * 1024)
+    assert half.area_mm2 == pytest.approx(2.5)
+    assert half.dynamic_power_w_per_access < 0.732
+    assert half.static_power_w == pytest.approx(0.188)
+
+
+def test_banks_fitting_area(model):
+    assert model.banks_fitting_area(45.0) == 9
+    assert model.banks_fitting_area(45.0, tech_nm=90) < 9
+
+
+def test_invalid_inputs(model):
+    with pytest.raises(ValueError):
+        model.estimate_bank(size_bytes=0)
+    with pytest.raises(KeyError):
+        model.estimate_bank(tech_nm=32)

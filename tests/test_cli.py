@@ -1,0 +1,102 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.common.tables import format_table
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            ["simulate", "gzip", "--chip", "2d-a", "--window", "5000"]
+        )
+        assert args.benchmark == "gzip"
+        assert args.chip == "2d-a"
+        assert args.window == 5000
+
+    def test_bad_chip_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "gzip", "--chip", "4d"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "hetero" in out and "gzip" in out
+
+    def test_table4(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "1409" in out
+
+    def test_table8(self, capsys):
+        assert main(["table8"]) == 0
+        assert "2.21" in capsys.readouterr().out
+
+    def test_fig8(self, capsys):
+        assert main(["fig8"]) == 0
+        assert "per-bit" in capsys.readouterr().out
+
+    def test_fig9(self, capsys):
+        assert main(["fig9"]) == 0
+        assert "Qcrit" in capsys.readouterr().out
+
+    def test_vias(self, capsys):
+        assert main(["vias"]) == 0
+        assert "mW" in capsys.readouterr().out
+
+    def test_wires(self, capsys):
+        assert main(["wires"]) == 0
+        assert "3d-2a" in capsys.readouterr().out
+
+    def test_coverage(self, capsys):
+        assert main(["coverage"]) == 0
+        assert "arch. safe   : True" in capsys.readouterr().out
+
+    def test_simulate_small(self, capsys):
+        assert main(["simulate", "gzip", "--window", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "leading IPC" in out
+
+    def test_table5(self, capsys):
+        assert main(["table5"]) == 0
+        assert "3.45" in capsys.readouterr().out
+
+    def test_table6_and_7(self, capsys):
+        assert main(["table6"]) == 0
+        assert main(["table7"]) == 0
+        out = capsys.readouterr().out
+        assert "Vth" in out and "Lgate" in out
+
+    def test_presets(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        assert "hetero-90nm" in out and "3d-2a-7w" in out
+
+    def test_thermalmap(self, capsys):
+        assert main(["thermalmap", "--chip", "2d-a"]) == 0
+        out = capsys.readouterr().out
+        assert "chip peak" in out
+        assert "floorplan" in out
+
+    def test_report(self, tmp_path, capsys):
+        assert main(["report", "--out", str(tmp_path), "--window", "3000"]) == 0
+        assert (tmp_path / "results.json").exists()
+
+
+def test_format_table_alignment():
+    text = format_table("T", ["a", "bb"], [[1, 2], [333, 4]])
+    lines = text.splitlines()
+    assert lines[0] == "=== T ==="
+    assert lines[1].startswith("a")
+    assert "333" in lines[3]

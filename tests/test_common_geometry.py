@@ -1,0 +1,60 @@
+"""Rect geometry used by floorplans and rasterization."""
+
+import pytest
+
+from repro.common.geometry import Rect
+
+
+def test_basic_properties():
+    r = Rect(1.0, 2.0, 3.0, 4.0)
+    assert r.x2 == pytest.approx(4.0)
+    assert r.y2 == pytest.approx(6.0)
+    assert r.area == pytest.approx(12.0)
+    assert r.center == (pytest.approx(2.5), pytest.approx(4.0))
+
+
+def test_negative_dimensions_rejected():
+    with pytest.raises(ValueError):
+        Rect(0, 0, -1, 1)
+    with pytest.raises(ValueError):
+        Rect(0, 0, 1, -1)
+
+
+def test_overlap_detection():
+    a = Rect(0, 0, 2, 2)
+    assert a.overlaps(Rect(1, 1, 2, 2))
+    assert not a.overlaps(Rect(2, 0, 1, 1))  # edge-sharing is not overlap
+    assert not a.overlaps(Rect(5, 5, 1, 1))
+
+
+def test_intersection_area():
+    a = Rect(0, 0, 2, 2)
+    assert a.intersection_area(Rect(1, 1, 2, 2)) == pytest.approx(1.0)
+    assert a.intersection_area(Rect(3, 3, 1, 1)) == 0.0
+    assert a.intersection_area(a) == pytest.approx(a.area)
+
+
+def test_contains():
+    outer = Rect(0, 0, 10, 10)
+    assert outer.contains(Rect(1, 1, 2, 2))
+    assert outer.contains(outer)
+    assert not outer.contains(Rect(9, 9, 2, 2))
+
+
+def test_manhattan_distance():
+    a = Rect(0, 0, 2, 2)    # centre (1, 1)
+    b = Rect(3, 4, 2, 2)    # centre (4, 5)
+    assert a.manhattan_distance_to(b) == pytest.approx(7.0)
+    assert a.manhattan_distance_to(a) == 0.0
+
+
+def test_translated():
+    r = Rect(1, 1, 2, 2).translated(3, -1)
+    assert (r.x, r.y, r.width, r.height) == (4, 0, 2, 2)
+
+
+def test_rect_is_hashable_and_frozen():
+    r = Rect(0, 0, 1, 1)
+    assert hash(r) == hash(Rect(0, 0, 1, 1))
+    with pytest.raises(Exception):
+        r.x = 5.0

@@ -1,0 +1,53 @@
+"""Deterministic RNG streams."""
+
+import numpy as np
+
+from repro.common.rng import RngFactory, derive_seed
+
+
+def test_same_name_same_stream():
+    factory = RngFactory(seed=42)
+    a = factory.stream("x").random(10)
+    b = factory.stream("x").random(10)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_different_streams():
+    factory = RngFactory(seed=42)
+    a = factory.stream("x").random(10)
+    b = factory.stream("y").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_different_streams():
+    a = RngFactory(seed=1).stream("x").random(10)
+    b = RngFactory(seed=2).stream("x").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_child_factories_are_independent():
+    factory = RngFactory(seed=7)
+    a = factory.child("c1").stream("s").random(5)
+    b = factory.child("c2").stream("s").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_child_is_deterministic():
+    a = RngFactory(seed=7).child("c").stream("s").random(5)
+    b = RngFactory(seed=7).child("c").stream("s").random(5)
+    assert np.array_equal(a, b)
+
+
+def test_derive_seed_range():
+    for name in ("a", "b", "some/long/name"):
+        seed = derive_seed(123, name)
+        assert 0 <= seed < 2**63
+
+
+def test_derive_seed_sensitivity():
+    assert derive_seed(1, "a") != derive_seed(1, "b")
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+def test_seed_property():
+    assert RngFactory(seed=9).seed == 9

@@ -1,0 +1,104 @@
+"""Counters, running means, histograms, stat groups."""
+
+import pytest
+
+from repro.common.stats import Counter, Histogram, RunningMean, StatGroup
+
+
+class TestCounter:
+    def test_increment(self):
+        c = Counter("c")
+        c.increment()
+        c.increment(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").increment(-1)
+
+    def test_reset(self):
+        c = Counter("c")
+        c.increment(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestRunningMean:
+    def test_mean_min_max(self):
+        m = RunningMean("m")
+        for x in (1.0, 2.0, 6.0):
+            m.add(x)
+        assert m.mean == pytest.approx(3.0)
+        assert m.minimum == 1.0
+        assert m.maximum == 6.0
+        assert m.count == 3
+
+    def test_empty_mean_is_zero(self):
+        assert RunningMean("m").mean == 0.0
+
+    def test_reset(self):
+        m = RunningMean("m")
+        m.add(5.0)
+        m.reset()
+        assert m.count == 0
+        assert m.mean == 0.0
+
+
+class TestHistogram:
+    def test_requires_bins(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [])
+
+    def test_add_and_fractions(self):
+        h = Histogram("h", [0.1, 0.2, 0.3])
+        h.add(0.2)
+        h.add(0.2)
+        h.add(0.3)
+        assert h.total == 3
+        assert h.fractions() == pytest.approx([0.0, 2 / 3, 1 / 3])
+
+    def test_unknown_bin_rejected(self):
+        h = Histogram("h", [1.0])
+        with pytest.raises(KeyError):
+            h.add(2.0)
+
+    def test_mode_and_mean(self):
+        h = Histogram("h", [0.5, 1.0])
+        h.add(0.5, 3)
+        h.add(1.0, 1)
+        assert h.mode() == 0.5
+        assert h.mean() == pytest.approx((0.5 * 3 + 1.0) / 4)
+
+    def test_empty_fractions(self):
+        h = Histogram("h", [1.0, 2.0])
+        assert h.fractions() == [0.0, 0.0]
+        assert h.mean() == 0.0
+
+
+class TestStatGroup:
+    def test_get_or_create_returns_same_object(self):
+        g = StatGroup("g")
+        assert g.counter("a") is g.counter("a")
+
+    def test_as_dict(self):
+        g = StatGroup("g")
+        g.counter("c").increment(2)
+        g.running_mean("m").add(4.0)
+        g.histogram("h", [1.0]).add(1.0)
+        snapshot = g.as_dict()
+        assert snapshot["c"] == 2
+        assert snapshot["m"] == pytest.approx(4.0)
+        assert snapshot["h"] == [1]
+
+    def test_reset_all(self):
+        g = StatGroup("g")
+        g.counter("c").increment()
+        g.reset()
+        assert g["c"].value == 0
+
+    def test_contains_and_names(self):
+        g = StatGroup("g")
+        g.counter("b")
+        g.counter("a")
+        assert "a" in g
+        assert g.names() == ["a", "b"]

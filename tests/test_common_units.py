@@ -1,0 +1,34 @@
+"""Units and conversions."""
+
+import pytest
+
+from repro.common import units
+
+
+def test_length_constants_are_consistent():
+    assert units.MILLIMETRE == pytest.approx(1e-3)
+    assert units.MICROMETRE == pytest.approx(1e-6)
+    assert units.NANOMETRE == pytest.approx(1e-9)
+    assert units.MILLIMETRE / units.MICROMETRE == pytest.approx(1000.0)
+
+
+def test_area_round_trip():
+    assert units.m2_to_mm2(units.mm2_to_m2(52.56)) == pytest.approx(52.56)
+
+
+def test_mm2_to_m2():
+    assert units.mm2_to_m2(1.0) == pytest.approx(1e-6)
+
+
+def test_temperature_round_trip():
+    assert units.kelvin_to_celsius(units.celsius_to_kelvin(47.0)) == pytest.approx(47.0)
+    assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+
+def test_frequency_constants():
+    assert 2 * units.GIGAHERTZ == pytest.approx(2e9)
+    assert units.GIGAHERTZ / units.MEGAHERTZ == pytest.approx(1000.0)
+
+
+def test_data_constants():
+    assert units.MEGABYTE == 1024 * units.KILOBYTE

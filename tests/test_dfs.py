@@ -1,0 +1,93 @@
+"""The DFS controller."""
+
+import pytest
+
+from repro.common.config import DfsConfig
+from repro.core.dfs import DfsController
+
+
+def test_starts_at_peak():
+    controller = DfsController()
+    assert controller.level == pytest.approx(1.0)
+
+
+def test_scales_down_on_low_occupancy():
+    controller = DfsController()
+    level = controller.level
+    new = controller.update(0.0)
+    assert new < level
+
+
+def test_scales_up_on_high_occupancy():
+    controller = DfsController()
+    for _ in range(5):
+        controller.update(0.0)   # drop a few levels
+    low = controller.level
+    new = controller.update(1.0)
+    assert new > low
+
+
+def test_up_step_is_larger_than_down_step():
+    cfg = DfsConfig()
+    assert cfg.up_step > cfg.down_step
+
+
+def test_band_holds_level():
+    controller = DfsController()
+    controller.update(0.0)
+    held = controller.level
+    mid = (DfsConfig().low_occupancy_threshold + DfsConfig().high_occupancy_threshold) / 2
+    assert controller.update(mid) == held
+
+
+def test_never_below_min_level():
+    controller = DfsController()
+    for _ in range(100):
+        controller.update(0.0)
+    assert controller.level == pytest.approx(DfsConfig().levels()[0])
+
+
+def test_never_above_cap():
+    controller = DfsController(max_level_index=6)   # cap at 0.7
+    for _ in range(100):
+        controller.update(1.0)
+    assert controller.level == pytest.approx(0.7)
+
+
+def test_cap_validation():
+    with pytest.raises(ValueError):
+        DfsController(max_level_index=99)
+
+
+def test_residency_histogram_counts_intervals():
+    controller = DfsController()
+    for _ in range(10):
+        controller.update(0.3)
+    assert controller.residency.total == 10
+
+
+def test_residency_fractions_sum_to_one():
+    controller = DfsController()
+    for occ in (0.0, 0.0, 1.0, 0.3, 0.3, 0.0):
+        controller.update(occ)
+    assert sum(controller.residency_fractions().values()) == pytest.approx(1.0)
+
+
+def test_mean_and_mode():
+    controller = DfsController()
+    for _ in range(20):
+        controller.update(0.3)   # hold at peak... it starts at 1.0 and stays
+    assert controller.modal_frequency_fraction() == pytest.approx(1.0)
+    assert controller.mean_frequency_fraction() == pytest.approx(1.0)
+
+
+def test_oscillation_settles_in_band():
+    """A consumer/producer imbalance drives the level to an equilibrium."""
+    controller = DfsController()
+    # Synthetic plant: occupancy grows when level is too low, drains when
+    # high.  Equilibrium at level 0.6.
+    occupancy = 0.5
+    for _ in range(200):
+        level = controller.update(occupancy)
+        occupancy = min(1.0, max(0.0, occupancy + 0.3 * (0.6 - level)))
+    assert 0.4 <= controller.level <= 0.8

@@ -1,0 +1,80 @@
+"""Documentation consistency: the docs point at things that exist."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def design():
+    return (ROOT / "DESIGN.md").read_text()
+
+
+@pytest.fixture(scope="module")
+def experiments_md():
+    return (ROOT / "EXPERIMENTS.md").read_text()
+
+
+@pytest.fixture(scope="module")
+def readme():
+    return (ROOT / "README.md").read_text()
+
+
+def test_required_documents_exist():
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                 "docs/ARCHITECTURE.md", "docs/API.md"):
+        assert (ROOT / name).exists(), name
+
+
+def test_design_confirms_paper_identity(design):
+    assert "Leveraging 3D Technology for Improved Reliability" in design
+    assert "MICRO 2007" in design
+
+
+def test_design_bench_references_exist(design):
+    for match in re.finditer(r"benchmarks/(bench_\w+\.py)", design):
+        assert (ROOT / "benchmarks" / match.group(1)).exists(), match.group(1)
+
+
+def test_experiments_bench_references_exist(experiments_md):
+    for match in re.finditer(r"`bench_(\w+)`", experiments_md):
+        assert (ROOT / "benchmarks" / f"bench_{match.group(1)}.py").exists(), (
+            match.group(0)
+        )
+
+
+def test_readme_example_references_exist(readme):
+    for match in re.finditer(r"examples/(\w+\.py)", readme):
+        assert (ROOT / "examples" / match.group(1)).exists(), match.group(1)
+
+
+def test_every_table_and_figure_has_a_bench():
+    benches = {p.name for p in (ROOT / "benchmarks").glob("bench_*.py")}
+    required = {
+        "bench_table1_config.py", "bench_table2_blocks.py",
+        "bench_table3_thermal_params.py", "bench_table4_d2d_bandwidth.py",
+        "bench_table5_pipeline_power.py", "bench_table6_variability.py",
+        "bench_table7_itrs.py", "bench_table8_tech_power.py",
+        "bench_fig4_thermal_sweep.py", "bench_fig5_thermal_per_bench.py",
+        "bench_fig6_performance.py", "bench_fig7_dfs_histogram.py",
+        "bench_fig8_ser_scaling.py", "bench_fig9_mbu.py",
+        "bench_s2_fault_coverage.py", "bench_s33_thermal_constraint.py",
+        "bench_s34_interconnect.py", "bench_s4_heterogeneous.py",
+    }
+    assert required <= benches
+
+
+def test_examples_are_runnable_scripts():
+    for script in (ROOT / "examples").glob("*.py"):
+        text = script.read_text()
+        assert '__name__ == "__main__"' in text, script.name
+        assert text.startswith("#!/usr/bin/env python"), script.name
+
+
+def test_experiments_records_headline_numbers(experiments_md):
+    # The reproduction's headline comparisons are recorded.
+    for token in ("1409", "1.4 GHz", "0.6", "+4.5", "2.21"):
+        assert token in experiments_md, token

@@ -1,0 +1,59 @@
+"""Recovery-cost and error-performance models."""
+
+import pytest
+
+from repro.experiments.error_performance import (
+    RecoveryCostModel,
+    checker_operating_point_comparison,
+    error_performance,
+)
+
+
+class TestRecoveryCost:
+    def test_penalty_includes_slack_drain(self):
+        cost = RecoveryCostModel(slack_instructions=200)
+        penalty = cost.penalty_cycles(leading_ipc=2.0)
+        assert penalty >= 200 / 2.0
+
+    def test_slower_core_pays_more_per_recovery(self):
+        cost = RecoveryCostModel()
+        assert cost.penalty_cycles(0.5) > cost.penalty_cycles(2.0)
+
+
+class TestErrorPerformance:
+    def test_zero_errors_zero_loss(self):
+        result = error_performance(0.0)
+        assert result.throughput_fraction == pytest.approx(1.0)
+        assert result.slowdown == 0.0
+
+    def test_loss_monotone_in_rate(self):
+        rates = [1e-8, 1e-6, 1e-4, 1e-2]
+        losses = [error_performance(r).slowdown for r in rates]
+        assert losses == sorted(losses)
+
+    def test_tiny_rates_are_free(self):
+        assert error_performance(1e-12).slowdown < 1e-9
+
+    def test_heavy_rates_are_crippling(self):
+        assert error_performance(1e-2).slowdown > 0.5
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            error_performance(-1.0)
+
+    def test_recoveries_per_million(self):
+        assert error_performance(2e-6).recoveries_per_million == pytest.approx(2.0)
+
+
+class TestOperatingPoints:
+    def test_throttled_checker_is_essentially_free(self):
+        points = checker_operating_point_comparison()
+        assert points["dfs-throttled"].slowdown < 1e-6
+
+    def test_full_speed_checker_pays_for_thin_margins(self):
+        points = checker_operating_point_comparison()
+        assert points["full-speed"].slowdown > points["dfs-throttled"].slowdown
+
+    def test_particle_strikes_are_negligible(self):
+        points = checker_operating_point_comparison()
+        assert points["particle-strikes-only"].slowdown < 1e-3

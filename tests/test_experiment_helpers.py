@@ -1,0 +1,56 @@
+"""Helpers in the experiment drivers: floorplans, hetero power, rows."""
+
+import pytest
+
+from repro.common.config import ChipModel
+from repro.experiments.hetero import CHECKER_LEAKAGE_FRACTION, checker_power_at_node
+from repro.experiments.thermal import Fig4Row, standard_floorplan
+from repro.interconnect.wires import wire_budget
+
+
+class TestStandardFloorplan:
+    def test_wire_power_matches_own_budget(self):
+        plan = standard_floorplan(ChipModel.THREE_D_2A, checker_power_w=7.0)
+        budget = wire_budget(plan)
+        assert sum(plan.distributed_power_w.values()) == pytest.approx(
+            budget.total_power_w, rel=1e-6
+        )
+
+    def test_checker_power_applied(self):
+        plan = standard_floorplan(ChipModel.THREE_D_2A, checker_power_w=12.5)
+        assert plan.block("checker").power_w == 12.5
+
+    def test_scalar_bank_power(self):
+        plan = standard_floorplan(ChipModel.TWO_D_A, bank_powers_w=0.5)
+        for b in plan.blocks:
+            if b.name.startswith("bank"):
+                assert b.power_w == pytest.approx(0.5)
+
+
+class TestCheckerPowerAtNode:
+    def test_paper_anchor(self):
+        """14.5 W at 65 nm -> ~23.7 W at 90 nm (Section 4)."""
+        assert checker_power_at_node(14.5, 90) == pytest.approx(23.7, abs=0.8)
+
+    def test_same_node_is_identity(self):
+        assert checker_power_at_node(14.5, 65) == pytest.approx(14.5)
+
+    def test_dfs_throttling_reduces_dynamic_only(self):
+        full = checker_power_at_node(14.5, 90, frequency_fraction=1.0)
+        capped = checker_power_at_node(14.5, 90, frequency_fraction=0.7)
+        leak = 14.5 * CHECKER_LEAKAGE_FRACTION * 0.4  # 90 nm leakage part
+        assert capped < full
+        assert capped > leak  # never below the leakage floor
+
+    def test_leakage_fraction_bounds(self):
+        assert 0.0 < CHECKER_LEAKAGE_FRACTION < 1.0
+
+
+class TestFig4Row:
+    def test_deltas(self):
+        row = Fig4Row(
+            checker_power_w=7.0, temp_2d_2a_c=79.0, temp_3d_2a_c=84.5,
+            temp_2d_a_c=80.0,
+        )
+        assert row.delta_3d_vs_2da == pytest.approx(4.5)
+        assert row.delta_3d_vs_2d2a == pytest.approx(5.5)

@@ -1,0 +1,161 @@
+"""Experiment drivers: fast (analytical) experiments at full fidelity,
+simulation-backed drivers on reduced windows."""
+
+import pytest
+
+from repro.common.config import ChipModel, NucaPolicy
+from repro.experiments import (
+    SimulationWindow,
+    constant_thermal_performance,
+    fault_coverage_campaign,
+    fig4_thermal_sweep,
+    fig6_performance,
+    fig7_frequency_histogram,
+    fig8_ser_scaling,
+    fig9_mbu_curve,
+    nuca_policy_comparison,
+    section34_wire_analysis,
+    section4_heterogeneous,
+    simulate_leading,
+    simulate_rmt,
+    slack_comparison,
+    standard_floorplan,
+    table4_bandwidth,
+    table5_pipeline_power,
+    table6_variability,
+    table7_devices,
+    table8_power_ratios,
+    thermally_equivalent_frequency,
+    via_summary,
+)
+from repro.workloads.profiles import get_profile
+
+TINY = SimulationWindow(warmup=2000, measured=6000)
+SUBSET = [get_profile(n) for n in ("gzip", "mcf", "mesa")]
+
+
+class TestRunners:
+    def test_simulate_leading(self):
+        result = simulate_leading("gzip", ChipModel.TWO_D_A, window=TINY)
+        assert 0.3 < result.ipc <= 4.0
+        assert result.instructions == TINY.measured
+
+    def test_simulate_rmt(self):
+        result = simulate_rmt("gzip", ChipModel.THREE_D_2A, window=TINY)
+        assert result.checker_instructions == TINY.total
+        assert sum(result.frequency_residency.values()) == pytest.approx(1.0)
+
+    def test_policies_give_different_hierarchies(self):
+        a = simulate_leading(
+            "mcf", ChipModel.TWO_D_A, window=TINY, policy=NucaPolicy.DISTRIBUTED_SETS
+        )
+        b = simulate_leading(
+            "mcf", ChipModel.TWO_D_A, window=TINY, policy=NucaPolicy.DISTRIBUTED_WAYS
+        )
+        assert a.ipc != b.ipc
+
+
+class TestTables:
+    def test_table4(self):
+        rows = table4_bandwidth()
+        assert sum(r.width_bits for r in rows) == 1409
+
+    def test_table5(self):
+        rows = table5_pipeline_power()
+        assert rows[0].published_dynamic == 1.0
+        assert rows[-1].fo4_per_stage == 6
+
+    def test_table6(self):
+        rows = table6_variability()
+        assert len(rows) == 4
+
+    def test_table7(self):
+        assert {r["feature_nm"] for r in table7_devices()} == {90, 65, 45}
+
+    def test_table8(self):
+        for row in table8_power_ratios():
+            assert row.dynamic_derived == pytest.approx(
+                row.dynamic_published, abs=0.02
+            )
+
+    def test_via_summary(self):
+        summary = via_summary()
+        assert summary.num_vias == 1409
+        assert summary.total_area_mm2 == pytest.approx(0.07, abs=0.002)
+
+
+class TestFigures:
+    def test_fig8_total_rises(self):
+        rows = fig8_ser_scaling()
+        totals = [r["chip_relative"] for r in rows]
+        assert totals == sorted(totals)
+
+    def test_fig9_monotone(self):
+        rows = fig9_mbu_curve()
+        probs = [r["mbu_probability"] for r in rows]
+        assert probs == sorted(probs)
+
+    def test_fig4_shape(self):
+        rows = fig4_thermal_sweep(checker_powers_w=(7, 15))
+        assert rows[0].delta_3d_vs_2da > 0
+        assert rows[1].delta_3d_vs_2da > rows[0].delta_3d_vs_2da
+
+    def test_fig6_reduced(self):
+        rows = fig6_performance(
+            window=TINY, benchmarks=SUBSET,
+            models=(ChipModel.TWO_D_A, ChipModel.TWO_D_2A),
+        )
+        assert len(rows) == 3
+        for row in rows:
+            assert row[ChipModel.TWO_D_A] > 0
+
+    def test_fig7_reduced(self):
+        result = fig7_frequency_histogram(window=TINY, benchmarks=SUBSET)
+        assert sum(result.fractions.values()) == pytest.approx(1.0)
+        assert 0.1 <= result.mean <= 1.0
+
+
+class TestSectionAnalyses:
+    def test_wire_analysis_ordering(self):
+        budgets = section34_wire_analysis()
+        assert (
+            budgets["2d-a"].total_power_w
+            < budgets["3d-2a"].total_power_w
+            < budgets["2d-2a"].total_power_w
+        )
+
+    def test_slack_comparison(self):
+        result = slack_comparison()
+        assert result["deep_pipeline_power"] > 3.0
+        assert result["dfs_error_rate"] < result["full_speed_error_rate"]
+
+    def test_coverage_campaign(self):
+        result = fault_coverage_campaign(instructions=5000, seed=2)
+        assert result.architecturally_safe
+
+    def test_thermal_constraint_frequency(self):
+        ratio = thermally_equivalent_frequency(7.0)
+        assert 0.8 < ratio < 1.0
+
+    def test_constant_thermal_performance_reduced(self):
+        result = constant_thermal_performance(
+            checker_power_w=7.0, window=TINY, benchmarks=SUBSET
+        )
+        assert 0.0 < result.performance_loss < 0.15
+        assert result.frequency_ghz < 2.0
+
+    @pytest.mark.slow
+    def test_section4_heterogeneous_reduced(self):
+        result = section4_heterogeneous(window=TINY, benchmarks=SUBSET)
+        assert result.checker_power_90nm_w > result.checker_power_65nm_w
+        assert result.upper_cache_banks_90nm == 5
+        assert result.peak_frequency_ratio == pytest.approx(0.7)
+        assert result.bank_access_cycles_90nm == 7
+        assert result.soft_error_rate_ratio < 1.0
+        assert abs(result.leading_slowdown) < 0.1
+
+
+class TestStandardFloorplan:
+    def test_wire_power_attached(self):
+        plan = standard_floorplan(ChipModel.TWO_D_A)
+        assert plan.distributed_power_w[0] == pytest.approx(5.4, abs=0.5)

@@ -1,0 +1,117 @@
+"""Fault models, SECDED outcomes, the injector."""
+
+import pytest
+
+from repro.core.faults import (
+    EccOutcome,
+    FaultInjector,
+    FaultKind,
+    FaultRates,
+    FaultSite,
+    apply_bit_flips,
+    poisson_fault_schedule,
+    secded_outcome,
+)
+
+
+class TestSecded:
+    def test_outcomes(self):
+        assert secded_outcome(0) is EccOutcome.CLEAN
+        assert secded_outcome(1) is EccOutcome.CORRECTED
+        assert secded_outcome(2) is EccOutcome.DETECTED
+        assert secded_outcome(3) is EccOutcome.UNDETECTED
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            secded_outcome(-1)
+
+
+class TestBitFlips:
+    def test_single_flip(self):
+        assert apply_bit_flips(0, (3,)) == 8
+
+    def test_double_flip_is_involution(self):
+        value = 0xDEADBEEF
+        flipped = apply_bit_flips(value, (5, 17))
+        assert flipped != value
+        assert apply_bit_flips(flipped, (5, 17)) == value
+
+    def test_bit_positions_wrap_mod_64(self):
+        assert apply_bit_flips(0, (64,)) == 1
+
+
+class TestFaultInjector:
+    def test_no_rates_no_faults(self):
+        injector = FaultInjector(seed=1)
+        for seq in range(1000):
+            assert injector.faults_for(seq, "leading") == []
+
+    def test_rates_produce_faults(self):
+        injector = FaultInjector(
+            leading=FaultRates(soft_error=0.01), seed=1
+        )
+        total = sum(len(injector.faults_for(s, "leading")) for s in range(10_000))
+        assert 40 < total < 250
+
+    def test_leading_faults_use_leading_sites(self):
+        injector = FaultInjector(leading=FaultRates(soft_error=0.05), seed=2)
+        sites = set()
+        for seq in range(5000):
+            for fault in injector.faults_for(seq, "leading"):
+                sites.add(fault.site)
+        assert sites <= set(FaultInjector._SITES_LEADING)
+        assert len(sites) >= 3
+
+    def test_trailing_faults_use_trailing_sites(self):
+        injector = FaultInjector(trailing=FaultRates(soft_error=0.05), seed=2)
+        sites = set()
+        for seq in range(5000):
+            for fault in injector.faults_for(seq, "trailing"):
+                sites.add(fault.site)
+        assert sites <= {FaultSite.TRAILING_RESULT, FaultSite.TRAILING_REGFILE}
+
+    def test_timing_errors_are_bursty(self):
+        injector = FaultInjector(
+            leading=FaultRates(
+                timing_error=0.002, timing_burst_factor=100.0,
+                timing_burst_length=4,
+            ),
+            seed=3,
+        )
+        seqs = []
+        for seq in range(100_000):
+            for fault in injector.faults_for(seq, "leading"):
+                if fault.kind is FaultKind.TIMING_ERROR:
+                    seqs.append(seq)
+        assert len(seqs) > 100
+        gaps = [b - a for a, b in zip(seqs, seqs[1:])]
+        burst_gaps = sum(1 for g in gaps if g <= 4)
+        # With correlation, adjacent errors are far more common than the
+        # base rate alone would produce.
+        assert burst_gaps / len(gaps) > 0.2
+
+    def test_multi_bit_fraction(self):
+        injector = FaultInjector(
+            leading=FaultRates(soft_error=0.05, multi_bit_fraction=0.5), seed=4
+        )
+        for seq in range(3000):
+            injector.faults_for(seq, "leading")
+        sizes = [f.num_bits for f in injector.injected]
+        assert set(sizes) == {1, 2}
+
+    def test_deterministic(self):
+        def run(seed):
+            injector = FaultInjector(leading=FaultRates(soft_error=0.01), seed=seed)
+            for seq in range(2000):
+                injector.faults_for(seq, "leading")
+            return [(f.seq, f.site, f.bits) for f in injector.injected]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+def test_poisson_schedule():
+    schedule = poisson_fault_schedule(0.01, 10_000, seed=1)
+    assert len(schedule) > 0
+    assert all(0 <= s < 10_000 for s in schedule)
+    assert list(schedule) == sorted(schedule)

@@ -1,0 +1,187 @@
+"""Floorplans: block areas, layout validity, model variants."""
+
+import pytest
+
+from repro.common.config import ChipModel
+from repro.common.errors import FloorplanError
+from repro.floorplan.blocks import (
+    Block,
+    BlockKind,
+    LEADING_CORE_AREA_MM2,
+    leading_core_blocks,
+    leading_core_unit_fractions,
+)
+from repro.floorplan.layouts import CheckerPlacement, build_floorplan
+from repro.common.geometry import Rect
+
+
+class TestLeadingCoreBlocks:
+    def test_fractions_sum_to_one(self):
+        units = leading_core_unit_fractions()
+        assert sum(a for _, a, _ in units) == pytest.approx(1.0)
+        assert sum(p for _, _, p in units) == pytest.approx(1.0)
+
+    def test_total_area_preserved(self):
+        blocks = leading_core_blocks(0, 0, 7.25, LEADING_CORE_AREA_MM2 / 7.25)
+        assert sum(b.area_mm2 for b in blocks) == pytest.approx(
+            LEADING_CORE_AREA_MM2, rel=1e-6
+        )
+
+    def test_total_power_preserved(self):
+        blocks = leading_core_blocks(0, 0, 7.25, 2.7, total_power_w=35.0)
+        assert sum(b.power_w for b in blocks) == pytest.approx(35.0)
+
+    def test_units_do_not_overlap(self):
+        blocks = leading_core_blocks(0, 0, 7.25, 2.7)
+        for i, a in enumerate(blocks):
+            for b in blocks[i + 1 :]:
+                assert a.rect.intersection_area(b.rect) < 1e-9
+
+    def test_regfile_is_among_densest(self):
+        blocks = leading_core_blocks(0, 0, 7.25, 2.7, total_power_w=35.0)
+        densities = {b.name: b.power_density_w_mm2 for b in blocks}
+        assert densities["regfile"] == max(densities.values())
+
+    def test_invalid_rectangle_rejected(self):
+        with pytest.raises(FloorplanError):
+            leading_core_blocks(0, 0, -1.0, 2.7)
+
+
+class TestBlock:
+    def test_power_density(self):
+        b = Block("x", BlockKind.CHECKER, Rect(0, 0, 2, 2.5), power_w=15.0)
+        assert b.power_density_w_mm2 == pytest.approx(3.0)
+
+    def test_with_power(self):
+        b = Block("x", BlockKind.CHECKER, Rect(0, 0, 1, 1))
+        assert b.with_power(7.0).power_w == 7.0
+        assert b.power_w == 0.0  # original untouched
+
+
+@pytest.mark.parametrize("chip", list(ChipModel), ids=lambda c: c.value)
+def test_every_model_validates(chip):
+    plan = build_floorplan(chip, checker_power_w=7.0)
+    plan.validate()
+
+
+class TestModelStructure:
+    def test_2da_has_no_checker(self):
+        plan = build_floorplan(ChipModel.TWO_D_A)
+        with pytest.raises(KeyError):
+            plan.block("checker")
+
+    def test_bank_counts(self):
+        for chip in ChipModel:
+            plan = build_floorplan(chip, checker_power_w=7.0)
+            banks = [b for b in plan.blocks if b.name.startswith("bank")]
+            expected = chip.l2_banks
+            if chip is ChipModel.THREE_D_CHECKER:
+                expected = 6  # no cache on the upper die
+            assert len(banks) == expected
+
+    def test_3d_has_two_dies(self):
+        plan = build_floorplan(ChipModel.THREE_D_2A, checker_power_w=7.0)
+        assert plan.num_dies == 2
+        assert plan.die_blocks(1)
+
+    def test_2d_2a_is_twice_the_area(self):
+        small = build_floorplan(ChipModel.TWO_D_A)
+        big = build_floorplan(ChipModel.TWO_D_2A, checker_power_w=7.0)
+        assert big.die_area_mm2 == pytest.approx(2 * small.die_area_mm2, rel=0.02)
+
+    def test_checker_area_is_5mm2(self):
+        for chip in (ChipModel.TWO_D_2A, ChipModel.THREE_D_2A):
+            plan = build_floorplan(chip, checker_power_w=7.0)
+            assert plan.block("checker").area_mm2 == pytest.approx(5.0, rel=0.01)
+
+    def test_bank_area_is_5mm2(self):
+        plan = build_floorplan(ChipModel.THREE_D_2A, checker_power_w=7.0)
+        for b in plan.blocks:
+            if b.name.startswith("bank"):
+                assert b.area_mm2 == pytest.approx(5.0, rel=0.01)
+
+    def test_upper_die_banks_cover_the_core(self):
+        """Bank row 0 of die 2 lies above the leading core (Section 3.1)."""
+        plan = build_floorplan(ChipModel.THREE_D_2A, checker_power_w=7.0)
+        core_blocks = [b for b in plan.die_blocks(0) if b.kind is BlockKind.CORE_UNIT]
+        upper_banks = [b for b in plan.die_blocks(1) if b.name.startswith("bank")]
+        covered = 0.0
+        for core in core_blocks:
+            covered += sum(core.rect.intersection_area(b.rect) for b in upper_banks)
+        total_core = sum(b.area_mm2 for b in core_blocks)
+        assert covered / total_core > 0.6
+
+    def test_checker_not_above_the_core(self):
+        plan = build_floorplan(ChipModel.THREE_D_2A, checker_power_w=7.0)
+        checker = plan.block("checker")
+        core_blocks = [b for b in plan.die_blocks(0) if b.kind is BlockKind.CORE_UNIT]
+        overlap = sum(checker.rect.intersection_area(b.rect) for b in core_blocks)
+        assert overlap < 1e-9
+
+
+class TestVariants:
+    def test_corner_moves_the_checker(self):
+        default = build_floorplan(ChipModel.THREE_D_2A, checker_power_w=7.0)
+        corner = build_floorplan(
+            ChipModel.THREE_D_2A, checker_power_w=7.0,
+            checker_placement=CheckerPlacement.CORNER,
+        )
+        assert corner.block("checker").rect.x > default.block("checker").rect.x
+
+    def test_inactive_upper_die(self):
+        plan = build_floorplan(
+            ChipModel.THREE_D_2A, checker_power_w=7.0, upper_die_cache=False
+        )
+        upper = plan.die_blocks(1)
+        assert not any(b.name.startswith("bank") for b in upper)
+        assert any(b.kind is BlockKind.INACTIVE for b in upper)
+
+    def test_double_density_halves_area(self):
+        plan = build_floorplan(
+            ChipModel.THREE_D_2A, checker_power_w=15.0, checker_area_scale=0.5
+        )
+        assert plan.block("checker").area_mm2 == pytest.approx(2.5, rel=0.01)
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(FloorplanError):
+            build_floorplan(
+                ChipModel.THREE_D_2A, checker_power_w=7.0,
+                checker_placement="middle-out",
+            )
+
+    def test_hetero_upper_die(self):
+        plan = build_floorplan(
+            ChipModel.THREE_D_2A, checker_power_w=23.7, upper_die_tech_nm=90
+        )
+        upper_banks = [
+            b for b in plan.die_blocks(1) if b.name.startswith("bank")
+        ]
+        assert len(upper_banks) == 5
+        checker = plan.block("checker")
+        assert checker.area_mm2 == pytest.approx(5.0 * (90 / 65) ** 2, rel=0.01)
+
+
+class TestPower:
+    def test_total_power_sums_blocks_and_wires(self):
+        plan = build_floorplan(
+            ChipModel.THREE_D_2A, checker_power_w=7.0, wire_power_w=12.0
+        )
+        blocks = sum(b.power_w for b in plan.blocks)
+        assert plan.total_power_w() == pytest.approx(blocks + 12.0)
+
+    def test_per_die_power_split(self):
+        plan = build_floorplan(
+            ChipModel.THREE_D_2A, checker_power_w=7.0, wire_power_w=10.0
+        )
+        assert plan.total_power_w(0) + plan.total_power_w(1) == pytest.approx(
+            plan.total_power_w()
+        )
+
+    def test_scaled_power(self):
+        plan = build_floorplan(ChipModel.TWO_D_A, wire_power_w=5.0)
+        scaled = plan.scaled_power(0.5)
+        assert scaled.total_power_w() == pytest.approx(0.5 * plan.total_power_w())
+
+    def test_bad_bank_power_count_rejected(self):
+        with pytest.raises(FloorplanError):
+            build_floorplan(ChipModel.TWO_D_A, bank_powers_w=[0.4] * 3)

@@ -1,0 +1,85 @@
+"""Additional functional-RMT behaviours: queue flows, state convergence."""
+
+import pytest
+
+from repro.core.faults import FaultInjector, FaultRates
+from repro.core.functional import FunctionalRmt
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import generate_trace
+from repro.workloads.profiles import get_profile
+
+
+def hand_trace():
+    """A tiny hand-built program exercising every instruction class."""
+    return [
+        Instruction(0, OpClass.IALU, dst=1, src1=30, src2=30, pc=0),
+        Instruction(1, OpClass.IMUL, dst=2, src1=1, src2=30, pc=4),
+        Instruction(2, OpClass.LOAD, dst=3, src1=1, src2=-1, pc=8, address=0x100),
+        Instruction(3, OpClass.FALU, dst=33, src1=62, src2=62, pc=12),
+        Instruction(4, OpClass.STORE, src1=2, src2=1, pc=16, address=0x108),
+        Instruction(5, OpClass.BRANCH, src1=1, src2=2, pc=20, taken=True, target=0),
+        Instruction(6, OpClass.STORE, src1=3, src2=1, pc=24, address=0x110),
+    ]
+
+
+class TestHandTrace:
+    def test_runs_clean(self):
+        result = FunctionalRmt().run(hand_trace())
+        assert result.mismatches_detected == 0
+        assert len(result.drained_stores) == 2
+
+    def test_store_values_derive_from_computation(self):
+        rmt = FunctionalRmt()
+        result = rmt.run(hand_trace())
+        addresses = [a for a, _ in result.drained_stores]
+        assert addresses == [0x108, 0x110]
+        # The second store writes the loaded value.
+        from repro.isa.instruction import load_value_for_address
+        assert result.drained_stores[1][1] == load_value_for_address(0x100)
+
+    def test_queue_drain_is_complete(self):
+        rmt = FunctionalRmt()
+        rmt.run(hand_trace())
+        assert rmt.rvq.is_empty
+        assert rmt.lvq.is_empty
+        assert rmt.boq.is_empty
+        assert rmt.stb.is_empty
+
+    def test_queue_push_counts(self):
+        rmt = FunctionalRmt()
+        rmt.run(hand_trace())
+        assert rmt.rvq.total_pushes == 7      # every instruction
+        assert rmt.lvq.total_pushes == 1      # one load
+        assert rmt.boq.total_pushes == 1      # one branch
+        assert rmt.stb.total_pushes == 2      # two stores
+
+
+class TestStateConvergence:
+    def test_regfiles_converge_even_under_faults(self):
+        trace = generate_trace(get_profile("twolf"), 6000, seed=41)
+        injector = FaultInjector(
+            leading=FaultRates(soft_error=1e-3, timing_error=1e-3), seed=41
+        )
+        rmt = FunctionalRmt(injector=injector)
+        result = rmt.run(trace)
+        assert result.recoveries > 0
+        # After the full run every recovery has re-synchronised the cores.
+        clean = FunctionalRmt()
+        clean.run(generate_trace(get_profile("twolf"), 6000, seed=41))
+        assert rmt.trailing_regs == clean.trailing_regs
+
+    def test_result_object_reports_final_regfile(self):
+        trace = generate_trace(get_profile("gzip"), 1000, seed=2)
+        rmt = FunctionalRmt()
+        result = rmt.run(trace)
+        assert result.final_trailing_regfile == rmt.trailing_regs
+
+
+class TestWorkloadSweep:
+    @pytest.mark.parametrize("name", ["eon", "lucas", "galgel", "vortex"])
+    def test_every_profile_class_is_protocol_clean(self, name):
+        trace = generate_trace(get_profile(name), 3000, seed=8)
+        result = FunctionalRmt().run(trace)
+        assert result.mismatches_detected == 0
+        assert result.silent_corruptions == 0

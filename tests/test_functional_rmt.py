@@ -1,0 +1,118 @@
+"""The functional (value-domain) RMT engine and its fault coverage."""
+
+import pytest
+
+from repro.common.config import QueueConfig
+from repro.core.faults import Fault, FaultInjector, FaultKind, FaultRates, FaultSite
+from repro.core.functional import FunctionalRmt, golden_store_stream
+from repro.isa.trace import generate_trace
+from repro.workloads.profiles import get_profile
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(get_profile("gzip"), 8000, seed=13)
+
+
+@pytest.fixture(scope="module")
+def golden(trace):
+    return FunctionalRmt().run(trace)
+
+
+class TestFaultFree:
+    def test_no_mismatches(self, trace, golden):
+        assert golden.mismatches_detected == 0
+        assert golden.recoveries == 0
+        assert golden.instructions == len(trace)
+
+    def test_store_stream_nonempty(self, golden):
+        assert len(golden.drained_stores) > 100
+
+    def test_regfiles_converge(self, trace):
+        rmt = FunctionalRmt()
+        rmt.run(trace)
+        assert rmt.leading_regs == rmt.trailing_regs
+
+    def test_deterministic(self, trace, golden):
+        again = FunctionalRmt().run(trace)
+        assert again.store_stream == golden.store_stream
+        assert again.final_trailing_regfile == golden.final_trailing_regfile
+
+
+class _OneShotInjector:
+    """Injects exactly one fault at a chosen (seq, core)."""
+
+    def __init__(self, site, seq, bits=(7,)):
+        trailing_sites = (FaultSite.TRAILING_RESULT, FaultSite.TRAILING_REGFILE)
+        self.core = "trailing" if site in trailing_sites else "leading"
+        self.site, self.seq, self.bits = site, seq, bits
+        self.injected = []
+
+    def faults_for(self, seq, core):
+        if seq == self.seq and core == self.core:
+            fault = Fault(seq, FaultKind.SOFT_ERROR, self.site, self.bits)
+            self.injected.append(fault)
+            return [fault]
+        return []
+
+
+class TestSingleFaultCoverage:
+    @pytest.mark.parametrize("site", list(FaultSite), ids=lambda s: s.value)
+    @pytest.mark.parametrize("bits", [(7,), (7, 31)], ids=["1bit", "2bit"])
+    def test_store_stream_survives_any_single_fault(self, trace, golden, site, bits):
+        for seq in (500, 2500, 6000):
+            injector = _OneShotInjector(site, seq, bits)
+            result = FunctionalRmt(injector=injector).run(trace)
+            assert result.store_stream == golden.store_stream, (
+                f"{site.value} fault at {seq} corrupted the store stream"
+            )
+
+    def test_result_fault_is_detected(self, trace):
+        # Find a register-writing non-load instruction and corrupt its result.
+        target = next(
+            i.seq for i in trace
+            if i.writes_register and not i.is_load and i.seq > 100
+        )
+        injector = _OneShotInjector(FaultSite.LEADING_RESULT, target)
+        result = FunctionalRmt(injector=injector).run(trace)
+        assert result.mismatches_detected >= 1
+        assert result.recoveries == result.mismatches_detected
+
+    def test_lvq_single_bit_is_corrected(self, trace):
+        target = next(i.seq for i in trace if i.is_load and i.seq > 100)
+        injector = _OneShotInjector(FaultSite.LVQ_VALUE, target, (9,))
+        result = FunctionalRmt(injector=injector).run(trace)
+        assert result.ecc_corrections == 1
+        assert result.mismatches_detected == 0
+
+
+class TestCampaign:
+    def test_heavy_campaign_is_architecturally_safe(self, trace, golden):
+        injector = FaultInjector(
+            leading=FaultRates(soft_error=1e-3, timing_error=1e-3),
+            trailing=FaultRates(soft_error=5e-4, timing_error=5e-4),
+            seed=21,
+        )
+        result = FunctionalRmt(injector=injector).run(trace)
+        assert len(injector.injected) > 10
+        assert result.mismatches_detected > 0
+        assert result.store_stream == golden.store_stream
+        assert result.silent_corruptions == 0
+
+    def test_detection_implies_recovery(self, trace):
+        injector = FaultInjector(
+            leading=FaultRates(soft_error=2e-3), seed=5
+        )
+        result = FunctionalRmt(injector=injector).run(trace)
+        assert result.recoveries == result.mismatches_detected
+
+
+def test_golden_store_stream_helper(trace, golden):
+    assert golden_store_stream(trace) == golden.store_stream
+
+
+def test_custom_queue_config():
+    trace = generate_trace(get_profile("gzip"), 500, seed=1)
+    rmt = FunctionalRmt(queues=QueueConfig(slack_target=50, rvq_entries=50))
+    result = rmt.run(trace)
+    assert result.instructions == 500

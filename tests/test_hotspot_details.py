@@ -1,0 +1,68 @@
+"""Rasterization and override details of the chip thermal model."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import ChipModel, ThermalConfig
+from repro.floorplan.layouts import build_floorplan
+from repro.thermal.hotspot import ChipThermalModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ChipThermalModel(build_floorplan(ChipModel.TWO_D_A, wire_power_w=5.0))
+
+
+def test_rasterization_conserves_power(model):
+    """Every block's power lands fully on the grid."""
+    cfg = model.config
+    maps = {}
+    n_cells = cfg.grid_rows * cfg.grid_cols
+    total_expected = model.floorplan.total_power_w()
+    # Rebuild the power map exactly as solve() does.
+    power = np.zeros(n_cells)
+    for block in model.floorplan.blocks:
+        if block.power_w <= 0:
+            continue
+        _die, idx, frac = model._block_cells[block.name]
+        np.add.at(power, idx, block.power_w * frac)
+    distributed = sum(model.floorplan.distributed_power_w.values())
+    assert power.sum() + distributed == pytest.approx(total_expected, rel=1e-6)
+
+
+def test_block_fractions_sum_to_one(model):
+    for block in model.floorplan.blocks:
+        _die, _idx, frac = model._block_cells[block.name]
+        assert frac.sum() == pytest.approx(1.0, rel=1e-6), block.name
+
+
+def test_unknown_override_is_ignored(model):
+    base = model.solve().peak_c
+    with_unknown = model.solve({"not_a_block": 100.0}).peak_c
+    assert with_unknown == pytest.approx(base)
+
+
+def test_zero_power_override_cools(model):
+    base = model.solve().peak_c
+    cooled = model.solve({"int_exec": 0.0, "regfile": 0.0}).peak_c
+    assert cooled < base
+
+
+def test_block_temps_cover_every_block(model):
+    result = model.solve()
+    names = {b.name for b in model.floorplan.blocks}
+    assert set(result.block_peak_c) == names
+    assert set(result.block_mean_c) == names
+
+
+def test_layer_grids_shape(model):
+    result = model.solve()
+    cfg = model.config
+    for grid in result.layer_grids.values():
+        assert grid.shape == (cfg.grid_rows, cfg.grid_cols)
+
+
+def test_hottest_block_consistent(model):
+    result = model.solve()
+    name = result.hottest_block()
+    assert result.block_peak_c[name] == max(result.block_peak_c.values())

@@ -1,0 +1,139 @@
+"""Inter-die vias, buses, wires, NoC router."""
+
+import pytest
+
+from repro.common.config import ChipModel
+from repro.floorplan.layouts import build_floorplan
+from repro.interconnect.buses import intercore_buses, l2_pillar, total_d2d_vias
+from repro.interconnect.noc import RouterModel
+from repro.interconnect.vias import D2dViaModel
+from repro.interconnect.wires import (
+    WIRE_PITCH_MM,
+    intercore_wire_length_mm,
+    l2_wire_length_mm,
+    wire_budget,
+)
+
+
+class TestBuses:
+    def test_table4_widths(self):
+        widths = {b.name: b.width_bits for b in intercore_buses()}
+        assert widths["loads"] == 128
+        assert widths["stores"] == 128
+        assert widths["branch_outcome"] == 1
+        assert widths["register_values"] == 768
+
+    def test_total_intercore_vias_is_1025(self):
+        assert sum(b.width_bits for b in intercore_buses()) == 1025
+
+    def test_l2_pillar_is_384_bits(self):
+        assert l2_pillar().width_bits == 384
+
+    def test_total_d2d_vias_is_1409(self):
+        assert total_d2d_vias() == 1409
+
+    def test_wider_core_needs_more_vias(self):
+        assert total_d2d_vias(issue_width=8) > 1409
+
+    def test_placements(self):
+        placements = {b.name: b.via_block for b in intercore_buses()}
+        assert placements["loads"] == "lsq"
+        assert placements["register_values"] == "regfile"
+        assert placements["branch_outcome"] == "bpred"
+
+
+class TestVias:
+    def test_capacitance(self):
+        model = D2dViaModel()
+        assert model.capacitance_f == pytest.approx(0.594e-14)
+
+    def test_per_via_power_matches_paper(self):
+        # Paper: ~0.011 mW per via at 65 nm, 2 GHz, 1 V.
+        assert D2dViaModel().via_power_w() * 1e3 == pytest.approx(0.0119, abs=0.001)
+
+    def test_total_power_near_15mw(self):
+        total = D2dViaModel().total_power_w(1409) * 1e3
+        assert total == pytest.approx(15.49, rel=0.1)
+
+    def test_total_area_is_007mm2(self):
+        assert D2dViaModel().total_area_mm2(1409) == pytest.approx(0.07, abs=0.002)
+
+    def test_activity_scales_power(self):
+        model = D2dViaModel()
+        assert model.via_power_w(0.5) == pytest.approx(model.via_power_w() / 2)
+        with pytest.raises(ValueError):
+            model.via_power_w(1.5)
+
+
+class TestWires:
+    @pytest.fixture(scope="class")
+    def plans(self):
+        return {
+            chip: build_floorplan(chip, checker_power_w=7.0)
+            for chip in (ChipModel.TWO_D_A, ChipModel.TWO_D_2A, ChipModel.THREE_D_2A)
+        }
+
+    def test_2da_has_no_intercore_wires(self, plans):
+        assert intercore_wire_length_mm(plans[ChipModel.TWO_D_A]) == 0.0
+
+    def test_3d_shortens_intercore_wires(self, plans):
+        two_d = intercore_wire_length_mm(plans[ChipModel.TWO_D_2A])
+        three_d = intercore_wire_length_mm(plans[ChipModel.THREE_D_2A])
+        assert three_d < two_d
+        # Paper: 7490 mm -> 4279 mm (a ~40% saving).
+        assert 0.3 < three_d / two_d < 0.85
+
+    def test_intercore_lengths_near_paper(self, plans):
+        assert intercore_wire_length_mm(plans[ChipModel.TWO_D_2A]) == pytest.approx(
+            7490, rel=0.25
+        )
+        assert intercore_wire_length_mm(plans[ChipModel.THREE_D_2A]) == pytest.approx(
+            4279, rel=0.25
+        )
+
+    def test_l2_metal_ordering(self, plans):
+        """2d-a < 3d-2a < 2d-2a, as in Section 3.4."""
+        areas = {
+            chip: l2_wire_length_mm(plan) * WIRE_PITCH_MM
+            for chip, plan in plans.items()
+        }
+        assert (
+            areas[ChipModel.TWO_D_A]
+            < areas[ChipModel.THREE_D_2A]
+            < areas[ChipModel.TWO_D_2A]
+        )
+
+    def test_wire_power_near_paper(self, plans):
+        budgets = {chip: wire_budget(plan) for chip, plan in plans.items()}
+        assert budgets[ChipModel.TWO_D_A].total_power_w == pytest.approx(5.1, rel=0.15)
+        assert budgets[ChipModel.TWO_D_2A].total_power_w == pytest.approx(15.5, rel=0.3)
+        assert budgets[ChipModel.THREE_D_2A].total_power_w == pytest.approx(12.1, rel=0.15)
+
+    def test_checker_feed_is_cheap_in_3d(self, plans):
+        """Paper: register/load transfer costs only ~1.8 W over 3D."""
+        budget = wire_budget(plans[ChipModel.THREE_D_2A])
+        assert budget.intercore_power_w < 3.5
+
+    def test_budget_totals_consistent(self, plans):
+        budget = wire_budget(plans[ChipModel.THREE_D_2A])
+        assert budget.total_length_mm == pytest.approx(
+            budget.intercore_length_mm + budget.l2_length_mm
+        )
+        assert budget.total_metal_area_mm2 == pytest.approx(
+            budget.total_length_mm * WIRE_PITCH_MM
+        )
+
+
+class TestRouter:
+    def test_hop_latency_is_4_cycles(self):
+        assert RouterModel().hop_latency_cycles == 4
+
+    def test_power_range(self):
+        router = RouterModel()
+        assert router.power_w(0.0) == pytest.approx(0.296 * 0.35)
+        assert router.power_w(1.0) == pytest.approx(0.296)
+        with pytest.raises(ValueError):
+            router.power_w(2.0)
+
+    def test_table2_area(self):
+        assert RouterModel().area_mm2 == pytest.approx(0.22)

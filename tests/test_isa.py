@@ -1,0 +1,111 @@
+"""Op classes, instructions, the synthetic ALU, and functional units."""
+
+import pytest
+
+from repro.isa.instruction import (
+    MASK64,
+    Instruction,
+    compute_result,
+    load_value_for_address,
+)
+from repro.isa.opcodes import EXECUTION_LATENCY, FunctionalUnitPool, OpClass
+
+
+class TestOpClass:
+    def test_memory_classification(self):
+        assert OpClass.LOAD.is_memory and OpClass.STORE.is_memory
+        assert not OpClass.IALU.is_memory
+
+    def test_fp_classification(self):
+        assert OpClass.FALU.is_fp and OpClass.FMUL.is_fp
+        assert not OpClass.IMUL.is_fp
+
+    def test_register_writers(self):
+        assert OpClass.IALU.writes_register
+        assert OpClass.LOAD.writes_register
+        assert not OpClass.STORE.writes_register
+        assert not OpClass.BRANCH.writes_register
+
+    def test_all_classes_have_latency(self):
+        for op in OpClass:
+            assert EXECUTION_LATENCY[op] >= 1
+
+
+class TestSyntheticValues:
+    def test_load_value_is_deterministic(self):
+        assert load_value_for_address(0x1234) == load_value_for_address(0x1234)
+
+    def test_load_value_differs_by_address(self):
+        assert load_value_for_address(0) != load_value_for_address(8)
+
+    def test_load_value_fits_64_bits(self):
+        for addr in (0, 1, 2**40, 2**60):
+            assert 0 <= load_value_for_address(addr) <= MASK64
+
+    def test_compute_result_deterministic(self):
+        for op in (OpClass.IALU, OpClass.IMUL, OpClass.FALU, OpClass.FMUL):
+            assert compute_result(op, 3, 5) == compute_result(op, 3, 5)
+
+    def test_compute_result_sensitive_to_operands(self):
+        for op in (OpClass.IALU, OpClass.IMUL, OpClass.FALU, OpClass.FMUL):
+            assert compute_result(op, 3, 5) != compute_result(op, 4, 5)
+
+    def test_compute_result_masks_to_64_bits(self):
+        big = MASK64
+        for op in (OpClass.IALU, OpClass.IMUL, OpClass.FMUL):
+            assert 0 <= compute_result(op, big, big) <= MASK64
+
+    def test_branch_result_is_zero(self):
+        assert compute_result(OpClass.BRANCH, 1, 2) == 0
+
+    def test_load_rejects_compute(self):
+        with pytest.raises(ValueError):
+            compute_result(OpClass.LOAD, 1, 2)
+
+
+class TestInstruction:
+    def test_flags(self):
+        load = Instruction(0, OpClass.LOAD, dst=3, address=64)
+        assert load.is_load and not load.is_store and not load.is_branch
+        assert load.writes_register
+
+        store = Instruction(1, OpClass.STORE, src1=3, address=64)
+        assert store.is_store and not store.writes_register
+
+        branch = Instruction(2, OpClass.BRANCH, taken=True, target=128)
+        assert branch.is_branch and branch.taken
+
+    def test_repr_mentions_op(self):
+        assert "load" in repr(Instruction(0, OpClass.LOAD, dst=1))
+
+
+class TestFunctionalUnitPool:
+    def make_pool(self):
+        return FunctionalUnitPool(int_alus=4, int_mults=2, fp_alus=1, fp_mults=1)
+
+    def test_capacity_enforced(self):
+        pool = self.make_pool()
+        assert sum(pool.try_issue(OpClass.FMUL) for _ in range(3)) == 1
+
+    def test_memory_ops_share_ialu_pool(self):
+        pool = self.make_pool()
+        issued = 0
+        for op in (OpClass.IALU, OpClass.LOAD, OpClass.STORE, OpClass.BRANCH, OpClass.IALU):
+            issued += pool.try_issue(op)
+        assert issued == 4  # the shared pool has four slots
+        assert pool.available(OpClass.LOAD) == 0
+
+    def test_new_cycle_resets(self):
+        pool = self.make_pool()
+        for _ in range(4):
+            pool.try_issue(OpClass.IALU)
+        pool.new_cycle()
+        assert pool.try_issue(OpClass.IALU)
+
+    def test_imul_pool_independent(self):
+        pool = self.make_pool()
+        for _ in range(4):
+            assert pool.try_issue(OpClass.IALU)
+        assert pool.try_issue(OpClass.IMUL)
+        assert pool.try_issue(OpClass.IMUL)
+        assert not pool.try_issue(OpClass.IMUL)

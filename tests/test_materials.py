@@ -1,0 +1,65 @@
+"""Thermal layer materials and stack construction."""
+
+import pytest
+
+from repro.common.config import ThermalConfig
+from repro.thermal.materials import (
+    SINK_PLATE,
+    SPREADER,
+    Layer,
+    stack_for_2d,
+    stack_for_3d,
+)
+
+
+def test_layer_conductivity_inverse():
+    layer = Layer("x", 1e-3, 0.01)
+    assert layer.conductivity_w_per_mk == pytest.approx(100.0)
+
+
+def test_package_layers_are_copper():
+    assert SPREADER.conductivity_w_per_mk == pytest.approx(400.0)
+    assert SINK_PLATE.conductivity_w_per_mk == pytest.approx(400.0)
+
+
+def test_package_layers_spread_laterally():
+    assert SPREADER.lateral_scale > 1.0
+    assert SINK_PLATE.lateral_scale > SPREADER.lateral_scale
+
+
+def test_thick_layers_are_subdivided():
+    layers = stack_for_2d(ThermalConfig())
+    bulk = [l for l in layers if l.name.startswith("bulk_si_1")]
+    plate = [l for l in layers if l.name.startswith("sink_plate")]
+    assert len(bulk) >= 4
+    assert len(plate) >= 3
+
+
+def test_subdivision_preserves_total_thickness():
+    cfg = ThermalConfig()
+    layers = stack_for_3d(cfg)
+    bulk_total = sum(
+        l.thickness_m for l in layers if l.name.startswith("bulk_si_1")
+    )
+    assert bulk_total == pytest.approx(cfg.bulk_si_thickness_die1_m)
+
+
+def test_3d_stack_is_superset_of_2d():
+    cfg = ThermalConfig()
+    names_2d = {l.name for l in stack_for_2d(cfg)}
+    names_3d = {l.name for l in stack_for_3d(cfg)}
+    assert names_2d <= names_3d
+    assert {"d2d_via", "metal_2", "active_2", "bulk_si_2"} <= names_3d
+
+
+def test_layer_names_unique():
+    for stack in (stack_for_2d(ThermalConfig()), stack_for_3d(ThermalConfig())):
+        names = [l.name for l in stack]
+        assert len(names) == len(set(names))
+
+
+def test_sink_side_ordering():
+    """The sink plate must be first (heat sink at the bottom, Figure 2b)."""
+    layers = stack_for_3d(ThermalConfig())
+    assert layers[0].name.startswith("sink_plate")
+    assert layers[-1].name == "bulk_si_2"

@@ -1,0 +1,77 @@
+"""Small cross-cutting pieces: errors, helpers, reprs."""
+
+import pytest
+
+from repro.cache.nuca import AccessResult
+from repro.common import errors
+from repro.experiments.calibration import CalibrationRow, _spearman, suite_summary
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            errors.ConfigError,
+            errors.SimulationError,
+            errors.QueueFullError,
+            errors.QueueEmptyError,
+            errors.FloorplanError,
+            errors.ThermalModelError,
+            errors.CalibrationError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_queue_errors_are_simulation_errors(self):
+        assert issubclass(errors.QueueFullError, errors.SimulationError)
+        assert issubclass(errors.QueueEmptyError, errors.SimulationError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.QueueFullError("full")
+
+
+class TestAccessResult:
+    def test_repr_mentions_outcome(self):
+        hit = AccessResult(True, 18, 3)
+        miss = AccessResult(False, 318, 1)
+        assert "hit" in repr(hit)
+        assert "miss" in repr(miss)
+        assert "18" in repr(hit)
+
+
+class TestSpearman:
+    def test_perfect_correlation(self):
+        assert _spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        assert _spearman([1, 2, 3, 4], [40, 30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_partial(self):
+        rho = _spearman([1, 2, 3, 4], [10, 30, 20, 40])
+        assert -1.0 < rho < 1.0
+
+
+class TestSuiteSummary:
+    def _rows(self):
+        return [
+            CalibrationRow("a", 1.0, 1.1, 0.05, 0.1, 1.0),
+            CalibrationRow("b", 2.0, 1.8, 0.07, 0.05, 0.5),
+        ]
+
+    def test_mean_ipc(self):
+        summary = suite_summary(self._rows())
+        assert summary["mean_ipc"] == pytest.approx(1.45)
+
+    def test_mean_abs_error(self):
+        summary = suite_summary(self._rows())
+        assert summary["mean_abs_ipc_error"] == pytest.approx((0.1 + 0.1) / 2)
+
+    def test_rank_correlation_of_ordered_rows(self):
+        summary = suite_summary(self._rows())
+        assert summary["rank_correlation"] == pytest.approx(1.0)
+
+
+class TestCalibrationRow:
+    def test_ipc_error_sign(self):
+        fast = CalibrationRow("x", 1.0, 1.2, 0, 0, 0)
+        slow = CalibrationRow("x", 1.0, 0.8, 0, 0, 0)
+        assert fast.ipc_error > 0 > slow.ipc_error

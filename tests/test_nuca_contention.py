@@ -1,0 +1,47 @@
+"""Optional NUCA bank-contention modelling."""
+
+import pytest
+
+from repro.cache.nuca import NucaCache
+from repro.common.config import NucaConfig
+
+
+def test_contention_off_by_default():
+    cache = NucaCache(NucaConfig(num_banks=6))
+    span = cache.num_sets * 64
+    base = cache.access(0).latency_cycles
+    # Hammer the same bank: without contention modelling, hit latency is flat.
+    lat = [cache.access(0).latency_cycles for _ in range(8)]
+    assert len(set(lat)) == 1
+    assert lat[0] < base  # hits after the fill
+
+
+def test_same_bank_hammering_queues():
+    cache = NucaCache(NucaConfig(num_banks=6, model_contention=True))
+    cache.access(0)  # fill
+    first = cache.access(0).latency_cycles
+    later = [cache.access(0).latency_cycles for _ in range(6)]
+    assert max(later) > first - 1  # queueing grows latency
+    assert cache.stats["bank_conflicts"].value > 0
+
+
+def test_spread_traffic_sees_no_contention():
+    cache = NucaCache(NucaConfig(num_banks=6, model_contention=True))
+    # Touch six different banks round-robin: window of 4 never repeats.
+    addresses = [i * 64 for i in range(6)]
+    for a in addresses:
+        cache.access(a)
+    banks = {cache.access(a).bank for a in addresses}
+    if len(banks) == 6:  # consecutive sets map to distinct banks
+        assert cache.stats["bank_conflicts"].value == 0
+
+
+def test_contended_latency_still_bounded():
+    config = NucaConfig(num_banks=6, model_contention=True, contention_window=4)
+    cache = NucaCache(config)
+    cache.access(0)
+    worst = max(cache.access(0).latency_cycles for _ in range(20))
+    uncontended = config.bank_access_cycles + max(
+        h * config.hop_cycles for h in cache.bank_hops
+    )
+    assert worst <= uncontended + config.contention_window * config.bank_access_cycles

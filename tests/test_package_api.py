@@ -1,0 +1,69 @@
+"""Public API surface: every __all__ entry resolves, docstrings exist."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.common",
+    "repro.isa",
+    "repro.workloads",
+    "repro.cache",
+    "repro.core",
+    "repro.power",
+    "repro.floorplan",
+    "repro.thermal",
+    "repro.interconnect",
+    "repro.reliability",
+    "repro.experiments",
+    "repro.viz",
+]
+
+MODULES = [
+    "repro.cli",
+    "repro.presets",
+    "repro.common.units",
+    "repro.common.tables",
+    "repro.core.tmr",
+    "repro.thermal.transient",
+    "repro.thermal.dtm",
+    "repro.thermal.leakage",
+    "repro.interconnect.topology",
+    "repro.experiments.ablations",
+    "repro.experiments.calibration",
+    "repro.experiments.error_performance",
+    "repro.experiments.report",
+    "repro.experiments.sensitivity",
+    "repro.experiments.shared_cache",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_module_imports_and_documents(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} has no module docstring"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_entries_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", [])
+    assert exported, f"{name} exports nothing"
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_public_objects_have_docstrings(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        obj = getattr(module, symbol)
+        if callable(obj) or isinstance(obj, type):
+            assert obj.__doc__, f"{name}.{symbol} lacks a docstring"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__.count(".") == 2

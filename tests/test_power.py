@@ -1,0 +1,167 @@
+"""Power models: Wattch-lite, ITRS scaling, pipeline depth."""
+
+import pytest
+
+from repro.common.config import ChipModel
+from repro.experiments.runner import simulate_leading
+from repro.power.itrs import (
+    PUBLISHED_TABLE8,
+    TECH_NODES,
+    VARIABILITY_TABLE,
+    dynamic_power_ratio,
+    leakage_power_ratio,
+    relative_gate_delay,
+)
+from repro.power.pipeline import PUBLISHED_TABLE5, PipelinePowerModel
+from repro.power.wattch import (
+    CorePowerModel,
+    TURN_OFF_FACTOR,
+    l2_bank_power_w,
+    rmt_power_overhead,
+    router_power_w,
+)
+
+
+class TestItrsData:
+    def test_table7_rows(self):
+        assert TECH_NODES[90].voltage_v == pytest.approx(1.2)
+        assert TECH_NODES[65].gate_length_nm == pytest.approx(25.0)
+        assert TECH_NODES[45].leakage_ua_per_um == pytest.approx(0.28)
+
+    def test_table6_rows(self):
+        assert VARIABILITY_TABLE[80].vth_variability == pytest.approx(0.26)
+        assert VARIABILITY_TABLE[32].vth_variability == pytest.approx(0.58)
+        assert VARIABILITY_TABLE[45].circuit_performance_variability == pytest.approx(0.50)
+
+    def test_variability_worsens_with_scaling(self):
+        entries = [VARIABILITY_TABLE[n] for n in (80, 65, 45, 32)]
+        vths = [e.vth_variability for e in entries]
+        assert vths == sorted(vths)
+
+
+class TestTable8Derivation:
+    def test_dynamic_ratios_match_published(self):
+        for (old, new), (dyn, _leak) in PUBLISHED_TABLE8.items():
+            assert dynamic_power_ratio(old, new) == pytest.approx(dyn, abs=0.015)
+
+    def test_leakage_90_ratios_match_published(self):
+        assert leakage_power_ratio(90, 65) == pytest.approx(0.40, abs=0.01)
+        assert leakage_power_ratio(90, 45) == pytest.approx(0.44, abs=0.01)
+
+    def test_leakage_65_45_close_to_published(self):
+        # The paper prints 0.99; the straight derivation gives 1.09.
+        assert leakage_power_ratio(65, 45) == pytest.approx(0.99, abs=0.15)
+
+    def test_gate_delay_anchor(self):
+        # 500 ps at 65 nm -> 714 ps at 90 nm (Section 4).
+        assert 500.0 * relative_gate_delay(90, 65) == pytest.approx(714.0, abs=1.0)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(KeyError):
+            dynamic_power_ratio(32, 65)
+
+
+class TestPipelinePower:
+    def test_published_table5(self):
+        assert PUBLISHED_TABLE5[18].dynamic_relative == 1.0
+        assert PUBLISHED_TABLE5[14].dynamic_relative == 1.65
+        assert PUBLISHED_TABLE5[10].dynamic_relative == 1.76
+        assert PUBLISHED_TABLE5[6].dynamic_relative == 3.45
+        assert PUBLISHED_TABLE5[6].total_relative == pytest.approx(3.98)
+
+    def test_model_monotonic_in_depth(self):
+        model = PipelinePowerModel()
+        totals = [model.total_relative(d) for d in (18, 14, 10, 6)]
+        assert totals == sorted(totals)
+
+    def test_model_baseline_normalised(self):
+        model = PipelinePowerModel()
+        assert model.dynamic_relative(18) == pytest.approx(1.0)
+        assert model.leakage_relative(18) == pytest.approx(0.30)
+
+    def test_deep_pipe_power_explodes(self):
+        """The paper's conclusion: 6 FO4 costs ~3-4x the baseline power."""
+        model = PipelinePowerModel()
+        assert model.total_relative(6) > 3.0
+
+    def test_stage_count(self):
+        model = PipelinePowerModel(total_logic_fo4=90, latch_overhead_fo4=3)
+        assert model.stages(18) == pytest.approx(6.0)
+        assert model.stages(6) == pytest.approx(30.0)
+
+    def test_too_shallow_stage_rejected(self):
+        model = PipelinePowerModel()
+        with pytest.raises(ValueError):
+            model.stages(3.0)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            PipelinePowerModel(total_logic_fo4=2.0, latch_overhead_fo4=3.0)
+
+    def test_table_helper(self):
+        rows = PipelinePowerModel().table()
+        assert [r.fo4_per_stage for r in rows] == [18, 14, 10, 6]
+
+
+class TestWattch:
+    @pytest.fixture(scope="class")
+    def gzip_run(self):
+        return simulate_leading("gzip", ChipModel.TWO_D_A)
+
+    def test_activities_bounded(self, gzip_run):
+        for activity in CorePowerModel().unit_activities(gzip_run).values():
+            assert 0.0 <= activity <= 1.0
+
+    def test_core_power_in_range(self, gzip_run):
+        breakdown = CorePowerModel().core_power(gzip_run)
+        assert 15.0 < breakdown.total_w < 52.0
+
+    def test_turnoff_floor(self):
+        """Even an idle unit dissipates the cc3 turn-off fraction."""
+        model = CorePowerModel(peak_power_w=100.0)
+
+        class Idle:
+            op_counts = {c: 0 for c in
+                         ("ialu", "imul", "falu", "fmul", "load", "store", "branch")}
+            cycles = 1000
+            ipc = 0.0
+
+        breakdown = model.core_power(Idle())
+        # clock_other stays fully on; everything else at the 0.2 floor.
+        assert breakdown.total_w >= 100.0 * TURN_OFF_FACTOR
+
+    def test_int_program_has_cold_fp_unit(self, gzip_run):
+        per_unit = CorePowerModel().core_power(gzip_run).per_unit_w
+        activities = CorePowerModel().unit_activities(gzip_run)
+        assert activities["fp_exec"] == 0.0
+        assert per_unit["fp_exec"] > 0.0  # turn-off floor
+
+    def test_checker_power_scales_with_frequency(self):
+        model = CorePowerModel()
+        full = model.checker_power(15.0, 1.0)
+        slow = model.checker_power(15.0, 0.5)
+        assert full == pytest.approx(15.0)
+        assert slow < full
+        assert slow > 15.0 * 0.25  # leakage floor survives
+
+
+class TestHelpers:
+    def test_l2_bank_power(self):
+        assert l2_bank_power_w(0, 1000) == pytest.approx(0.376)
+        busy = l2_bank_power_w(1000, 1000)
+        assert busy == pytest.approx(0.376 + 0.732)
+
+    def test_router_power(self):
+        assert router_power_w(6) == pytest.approx(6 * 0.296)
+
+    def test_rmt_overhead_quote(self):
+        """Figure 1 summary: RMT can impose < 10% power overhead at the
+        operating point of a DFS-throttled low-power checker."""
+        # 7 W checker at ~0.6 frequency with leakage floor: about 5 W.
+        checker = CorePowerModel().checker_power(7.0, 0.6)
+        chip_power = 35.0 + 6 * 0.426 + 5.1 + 1.78  # core+banks+wires+routers
+        assert rmt_power_overhead(chip_power, checker) < 0.20
+
+    def test_rmt_overhead_validation(self):
+        with pytest.raises(ValueError):
+            rmt_power_overhead(0.0, 7.0)

@@ -1,0 +1,58 @@
+"""Named design-point presets."""
+
+import pytest
+
+from repro.common.config import ChipModel
+from repro.presets import load_preset, preset_names
+from repro.thermal import ChipThermalModel
+
+
+def test_all_presets_load():
+    for name in preset_names():
+        point = load_preset(name)
+        assert point.name == name
+        assert point.description
+        point.floorplan.validate()
+
+
+def test_unknown_preset():
+    with pytest.raises(KeyError):
+        load_preset("4d-chip")
+
+
+def test_baseline_has_no_checker():
+    point = load_preset("2d-a")
+    assert point.chip is ChipModel.TWO_D_A
+    with pytest.raises(KeyError):
+        point.floorplan.block("checker")
+
+
+def test_pessimistic_checker_power():
+    point = load_preset("3d-2a-15w")
+    assert point.floorplan.block("checker").power_w == 15.0
+
+
+def test_hetero_preset():
+    point = load_preset("hetero-90nm")
+    assert point.checker_peak_ratio == 0.7
+    banks = [
+        b for b in point.floorplan.die_blocks(1) if b.name.startswith("bank")
+    ]
+    assert len(banks) == 5
+    assert point.floorplan.block("checker").area_mm2 > 9.0
+
+
+def test_presets_are_thermally_solvable():
+    for name in ("2d-a", "3d-2a-7w"):
+        point = load_preset(name)
+        result = ChipThermalModel(point.floorplan).solve()
+        assert 60.0 < result.peak_c < 110.0
+
+
+def test_preset_ordering_matches_paper():
+    """3d-2a is hotter than 2d-a; 15 W hotter than 7 W."""
+    peaks = {
+        name: ChipThermalModel(load_preset(name).floorplan).solve().peak_c
+        for name in ("2d-a", "3d-2a-7w", "3d-2a-15w")
+    }
+    assert peaks["2d-a"] < peaks["3d-2a-7w"] <= peaks["3d-2a-15w"]

@@ -1,0 +1,76 @@
+"""Property-based tests for the cache models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.nuca import NucaCache
+from repro.cache.sram import SetAssociativeCache
+from repro.common.config import CacheGeometry, NucaConfig, NucaPolicy
+
+addresses = st.integers(0, 2**20)
+
+
+@given(st.lists(addresses, max_size=400))
+@settings(max_examples=50)
+def test_sram_capacity_never_exceeded(trace):
+    cache = SetAssociativeCache(
+        CacheGeometry(size_bytes=4 * 64 * 4, ways=4, line_bytes=64)
+    )
+    for a in trace:
+        cache.access(a)
+        assert cache.resident_lines() <= 16
+
+
+@given(st.lists(addresses, max_size=300))
+@settings(max_examples=50)
+def test_sram_immediate_rereference_always_hits(trace):
+    cache = SetAssociativeCache(CacheGeometry())
+    for a in trace:
+        cache.access(a)
+        assert cache.probe(a)
+
+
+@given(st.lists(addresses, min_size=1, max_size=300))
+@settings(max_examples=50)
+def test_sram_hits_plus_misses_equals_accesses(trace):
+    cache = SetAssociativeCache(CacheGeometry())
+    for a in trace:
+        cache.access(a)
+    assert cache.hits + cache.misses == len(trace)
+    assert 0.0 <= cache.miss_rate <= 1.0
+
+
+@given(st.lists(addresses, max_size=200), st.booleans())
+@settings(max_examples=30)
+def test_nuca_rereference_hits_under_both_policies(trace, use_ways):
+    policy = NucaPolicy.DISTRIBUTED_WAYS if use_ways else NucaPolicy.DISTRIBUTED_SETS
+    cache = NucaCache(NucaConfig(num_banks=6, policy=policy))
+    for a in trace:
+        cache.access(a)
+        assert cache.access(a).hit
+
+
+@given(st.lists(addresses, min_size=1, max_size=200))
+@settings(max_examples=30)
+def test_nuca_latency_bounds(trace):
+    cache = NucaCache(NucaConfig(num_banks=6), memory_latency_cycles=300)
+    max_hit = max(
+        cache._bank_latency(b) for b in range(6)
+    )
+    for a in trace:
+        result = cache.access(a)
+        if result.hit:
+            assert result.latency_cycles <= max_hit
+        else:
+            assert result.latency_cycles >= 300
+        assert 0 <= result.bank < 6
+
+
+@given(st.lists(addresses, min_size=1, max_size=200))
+@settings(max_examples=30)
+def test_nuca_bank_counts_sum_to_accesses(trace):
+    cache = NucaCache(NucaConfig(num_banks=6))
+    for a in trace:
+        cache.access(a)
+    assert sum(cache.bank_access_counts()) == len(trace)
+    assert cache.hits + cache.misses == len(trace)

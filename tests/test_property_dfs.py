@@ -1,0 +1,52 @@
+"""Property-based tests for the DFS controller."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import DfsConfig
+from repro.core.dfs import DfsController
+
+occupancies = st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=1, max_size=300)
+
+
+@given(occupancies)
+@settings(max_examples=50, deadline=None)
+def test_level_always_within_bounds(seq):
+    controller = DfsController()
+    levels = DfsConfig().levels()
+    for occ in seq:
+        level = controller.update(occ)
+        assert levels[0] - 1e-12 <= level <= levels[-1] + 1e-12
+        assert level in levels
+
+
+@given(occupancies, st.integers(0, 9))
+@settings(max_examples=30, deadline=None)
+def test_cap_is_never_exceeded(seq, cap_index):
+    controller = DfsController(max_level_index=cap_index)
+    cap = DfsConfig().levels()[cap_index]
+    for occ in seq:
+        assert controller.update(occ) <= cap + 1e-12
+
+
+@given(occupancies)
+@settings(max_examples=30, deadline=None)
+def test_residency_total_equals_updates(seq):
+    controller = DfsController()
+    for occ in seq:
+        controller.update(occ)
+    assert controller.residency.total == len(seq)
+    fractions = controller.residency_fractions()
+    assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+
+@given(st.floats(0.0, 1.0), st.integers(1, 50))
+@settings(max_examples=30, deadline=None)
+def test_constant_occupancy_converges(occ, n):
+    """Any constant occupancy drives the level to a fixed point."""
+    controller = DfsController()
+    last = None
+    for _ in range(200):
+        last = controller.update(occ)
+    # After long exposure the level no longer changes.
+    assert controller.update(occ) == last

@@ -1,0 +1,101 @@
+"""Property-based tests for the analytical models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.pipeline import PipelinePowerModel
+from repro.power.wattch import CorePowerModel, TURN_OFF_FACTOR, l2_bank_power_w
+from repro.reliability.ser import mbu_probability
+from repro.reliability.timing import TimingErrorModel
+
+
+@given(st.floats(0.05, 1.0), st.floats(0.05, 1.0))
+@settings(max_examples=50)
+def test_timing_error_rate_monotone_in_frequency(f1, f2):
+    model = TimingErrorModel()
+    lo, hi = sorted((f1, f2))
+    assert model.error_rate_per_instruction(lo) <= (
+        model.error_rate_per_instruction(hi) + 1e-15
+    )
+
+
+@given(st.floats(0.05, 1.0))
+@settings(max_examples=50)
+def test_timing_error_rate_is_probability(f):
+    rate = TimingErrorModel().error_rate_per_instruction(f)
+    assert 0.0 <= rate <= 1.0
+
+
+@given(st.floats(0.05, 1.0))
+@settings(max_examples=30)
+def test_slack_plus_delay_consistent(f):
+    model = TimingErrorModel()
+    slack = model.slack_fraction(f)
+    assert 0.0 <= slack < 1.0
+    # Slack shrinks as frequency rises.
+    if f < 0.95:
+        assert model.slack_fraction(f + 0.05) <= slack + 1e-12
+
+
+@given(st.floats(4.0, 30.0), st.floats(4.0, 30.0))
+@settings(max_examples=50)
+def test_pipeline_power_monotone_in_depth(d1, d2):
+    model = PipelinePowerModel()
+    shallow, deep = sorted((d1, d2), reverse=True)
+    assert model.total_relative(deep) >= model.total_relative(shallow) - 1e-12
+
+
+@given(st.floats(0.0, 100.0), st.floats(0.0, 100.0))
+@settings(max_examples=50)
+def test_mbu_probability_monotone_decreasing(q1, q2):
+    lo, hi = sorted((q1, q2))
+    assert mbu_probability(hi) <= mbu_probability(lo) + 1e-15
+
+
+@given(st.floats(0.0, 1.0), st.floats(1.0, 60.0))
+@settings(max_examples=50)
+def test_checker_power_bounds(frequency, nominal):
+    model = CorePowerModel()
+    if frequency == 0.0:
+        frequency = 0.01
+    power = model.checker_power(nominal, frequency)
+    assert nominal * 0.2 <= power <= nominal + 1e-9
+
+
+@given(st.integers(0, 10_000), st.integers(1, 10_000))
+@settings(max_examples=50)
+def test_l2_bank_power_bounds(accesses, cycles):
+    power = l2_bank_power_w(accesses, cycles)
+    assert 0.376 <= power <= 0.376 + 0.732 + 1e-12
+
+
+class _FakeRun:
+    """Minimal stand-in for LeadingRunResult."""
+
+    def __init__(self, ipc, cycles=1000):
+        self.ipc = ipc
+        self.cycles = cycles
+        per_class = int(ipc * cycles / 7)
+        self.op_counts = {
+            c: per_class for c in
+            ("ialu", "imul", "falu", "fmul", "load", "store", "branch")
+        }
+
+
+@given(st.floats(0.0, 4.0), st.floats(0.0, 4.0))
+@settings(max_examples=40)
+def test_core_power_monotone_in_ipc(ipc1, ipc2):
+    model = CorePowerModel()
+    lo, hi = sorted((ipc1, ipc2))
+    p_lo = model.core_power(_FakeRun(lo)).total_w
+    p_hi = model.core_power(_FakeRun(hi)).total_w
+    assert p_hi >= p_lo - 1e-9
+
+
+@given(st.floats(0.0, 4.0))
+@settings(max_examples=40)
+def test_core_power_floor_is_turnoff(ipc):
+    model = CorePowerModel(peak_power_w=50.0)
+    total = model.core_power(_FakeRun(ipc)).total_w
+    assert total >= 50.0 * TURN_OFF_FACTOR - 1e-9
+    assert total <= 50.0 + 1e-9

@@ -1,0 +1,67 @@
+"""Property-based tests for the bounded FIFO queues."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import QueueEmptyError, QueueFullError
+from repro.core.queues import BoundedQueue
+
+
+@given(
+    capacity=st.integers(1, 64),
+    items=st.lists(st.integers(), max_size=200),
+)
+def test_fifo_preserves_order_under_any_push_sequence(capacity, items):
+    q = BoundedQueue(capacity)
+    accepted = []
+    for item in items:
+        if not q.is_full:
+            q.push(item)
+            accepted.append(item)
+    popped = []
+    while not q.is_empty:
+        popped.append(q.pop())
+    assert popped == accepted[: capacity]
+
+
+@given(
+    capacity=st.integers(1, 32),
+    ops=st.lists(st.sampled_from(["push", "pop"]), max_size=300),
+)
+def test_occupancy_invariant_under_interleaved_ops(capacity, ops):
+    q = BoundedQueue(capacity)
+    model = []
+    counter = 0
+    for op in ops:
+        if op == "push":
+            if len(model) < capacity:
+                q.push(counter)
+                model.append(counter)
+                counter += 1
+            else:
+                with pytest.raises(QueueFullError):
+                    q.push(counter)
+        else:
+            if model:
+                assert q.pop() == model.pop(0)
+            else:
+                with pytest.raises(QueueEmptyError):
+                    q.pop()
+        assert q.occupancy == len(model)
+        assert q.is_full == (len(model) == capacity)
+        assert q.is_empty == (not model)
+        assert 0.0 <= q.occupancy_fraction <= 1.0
+
+
+@given(capacity=st.integers(1, 16), n=st.integers(0, 40))
+def test_total_pushes_monotonic(capacity, n):
+    q = BoundedQueue(capacity)
+    pushed = 0
+    for i in range(n):
+        if not q.is_full:
+            q.push(i)
+            pushed += 1
+        if i % 3 == 0 and not q.is_empty:
+            q.pop()
+    assert q.total_pushes == pushed

@@ -1,0 +1,71 @@
+"""Property-based tests for the thermal solver's physics invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.thermal.grid import GridThermalModel
+from repro.thermal.materials import Layer
+
+_ROWS = _COLS = 8
+
+
+def _model():
+    layers = [
+        Layer("base", 1e-3, 1.0 / 400.0),
+        Layer("active", 1e-6, 0.01, has_power=True),
+    ]
+    return GridThermalModel(
+        layers=layers, width_m=4e-3, height_m=4e-3, rows=_ROWS, cols=_COLS,
+        sink_r_k_mm2_per_w=8.0, secondary_r_k_mm2_per_w=1e5, ambient_c=47.0,
+    )
+
+
+_MODEL = _model()
+
+power_maps = arrays(
+    dtype=float,
+    shape=(_ROWS, _COLS),
+    elements=st.floats(0.0, 0.5, allow_nan=False),
+)
+
+
+@given(power_maps)
+@settings(max_examples=30, deadline=None)
+def test_temperatures_never_below_ambient(power):
+    temps = _MODEL.solve({"active": power})["active"]
+    assert np.all(temps >= 47.0 - 1e-9)
+
+
+@given(power_maps)
+@settings(max_examples=30, deadline=None)
+def test_energy_balance(power):
+    """Steady state: heat leaving through the boundaries equals heat in."""
+    temps = _MODEL.solve({"active": power})
+    bottom = temps["base"]
+    top = temps["active"]
+    q_out = (
+        _MODEL._g_bot * (bottom - 47.0).sum()
+        + _MODEL._g_top * (top - 47.0).sum()
+    )
+    assert q_out == (
+        __import__("pytest").approx(power.sum(), rel=1e-6, abs=1e-9)
+    )
+
+
+@given(power_maps, power_maps)
+@settings(max_examples=20, deadline=None)
+def test_monotonicity_in_power(p1, p2):
+    """Adding power anywhere never cools any cell."""
+    t1 = _MODEL.solve({"active": p1})["active"]
+    t2 = _MODEL.solve({"active": p1 + p2})["active"]
+    assert np.all(t2 >= t1 - 1e-9)
+
+
+@given(power_maps, st.floats(0.1, 5.0))
+@settings(max_examples=20, deadline=None)
+def test_linearity_in_scale(power, scale):
+    t1 = _MODEL.solve({"active": power})["active"] - 47.0
+    t2 = _MODEL.solve({"active": power * scale})["active"] - 47.0
+    assert np.allclose(t2, t1 * scale, atol=1e-7)

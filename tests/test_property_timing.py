@@ -1,0 +1,75 @@
+"""Property-based tests over the timing engines with generated traces."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import (
+    CheckerCoreConfig,
+    ChipModel,
+    LeadingCoreConfig,
+    NucaConfig,
+)
+from repro.core.leading import LeadingCoreTiming
+from repro.core.memory import MemoryHierarchy
+from repro.core.rmt import RmtSimulator
+from repro.isa.trace import generate_trace
+from repro.workloads.profiles import spec2k_suite
+
+_PROFILES = spec2k_suite()
+
+
+def _core():
+    config = LeadingCoreConfig()
+    memory = MemoryHierarchy(config, NucaConfig(num_banks=6), ChipModel.TWO_D_A)
+    return LeadingCoreTiming(config, memory)
+
+
+@given(
+    profile=st.sampled_from(_PROFILES),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=10, deadline=None)
+def test_leading_commits_monotone_for_any_workload(profile, seed):
+    core = _core()
+    trace = generate_trace(profile, 3000, seed=seed)
+    commits = [core.schedule(instr) for instr in trace]
+    assert all(b >= a for a, b in zip(commits, commits[1:]))
+    result = core.result(len(trace))
+    assert 0.0 < result.ipc <= 4.0 + 1e-9
+
+
+@given(
+    profile=st.sampled_from(_PROFILES),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=8, deadline=None)
+def test_rmt_invariants_for_any_workload(profile, seed):
+    config = LeadingCoreConfig()
+    memory = MemoryHierarchy(config, NucaConfig(num_banks=6), ChipModel.TWO_D_A)
+    simulator = RmtSimulator(
+        leading_config=config,
+        checker_config=CheckerCoreConfig(),
+        memory=memory,
+    )
+    trace = generate_trace(profile, 3000, seed=seed)
+    result = simulator.run(trace)
+    # Every instruction is checked, after its commit, in order.
+    assert result.checker_instructions == len(trace)
+    consumes = simulator._consume_times
+    commits = simulator._commit_times
+    assert all(b >= a for a, b in zip(consumes, consumes[1:]))
+    assert all(c >= k for k, c in zip(commits, consumes))
+    # Residency fractions are a distribution.
+    total = sum(result.frequency_residency.values())
+    assert abs(total - 1.0) < 1e-9 or total == 0.0
+
+
+@given(gate=st.integers(0, 100_000))
+@settings(max_examples=20, deadline=None)
+def test_commit_gate_is_respected(gate):
+    from repro.isa.instruction import Instruction
+    from repro.isa.opcodes import OpClass
+
+    core = _core()
+    instr = Instruction(0, OpClass.IALU, dst=1, src1=30, src2=30, pc=0)
+    assert core.schedule(instr, commit_gate=gate) >= gate

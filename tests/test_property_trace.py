@@ -1,0 +1,73 @@
+"""Property-based tests for the trace generator and predictor."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.branch import BranchPredictor
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import TraceGenerator, generate_trace
+from repro.workloads.profiles import spec2k_suite
+
+_PROFILES = spec2k_suite()
+
+
+@given(
+    profile=st.sampled_from(_PROFILES),
+    seed=st.integers(0, 2**32 - 1),
+    count=st.integers(1, 2000),
+)
+@settings(max_examples=25, deadline=None)
+def test_trace_well_formed_for_any_profile_and_seed(profile, seed, count):
+    trace = generate_trace(profile, count, seed=seed)
+    assert len(trace) == count
+    for instr in trace:
+        assert instr.op in OpClass
+        if instr.writes_register:
+            assert 0 <= instr.dst < 64
+            assert instr.op.is_fp == (instr.dst >= 32)
+        else:
+            assert instr.dst == -1
+        if instr.op.is_memory:
+            assert instr.address % 8 == 0
+        if instr.is_branch:
+            assert instr.target >= 0
+
+
+@given(
+    profile=st.sampled_from(_PROFILES),
+    seed=st.integers(0, 1000),
+    split=st.integers(1, 999),
+)
+@settings(max_examples=15, deadline=None)
+def test_chunked_generation_is_split_invariant(profile, seed, split):
+    bulk = generate_trace(profile, 1000, seed=seed)
+    gen = TraceGenerator(profile, seed=seed)
+    combined = gen.generate(split) + gen.generate(1000 - split)
+    for x, y in zip(combined, bulk):
+        assert (x.op, x.dst, x.src1, x.src2, x.address, x.pc, x.taken) == (
+            y.op, y.dst, y.src1, y.src2, y.address, y.pc, y.taken
+        )
+
+
+@given(
+    outcomes=st.lists(st.booleans(), min_size=1, max_size=500),
+)
+@settings(max_examples=30, deadline=None)
+def test_predictor_statistics_are_consistent(outcomes):
+    predictor = BranchPredictor()
+    mispredicts = 0
+    for taken in outcomes:
+        mispredicts += predictor.update(0x40, taken, 0x80)
+    assert predictor.lookups == len(outcomes)
+    assert predictor.mispredicts == mispredicts
+    assert 0.0 <= predictor.misprediction_rate <= 1.0
+
+
+@given(st.integers(0, 2**31))
+@settings(max_examples=20, deadline=None)
+def test_predictor_prediction_is_pure(pc):
+    predictor = BranchPredictor()
+    predictor.update(pc, True, 0x44)
+    first = predictor.predict(pc)
+    second = predictor.predict(pc)
+    assert first == second

@@ -1,0 +1,110 @@
+"""Bounded inter-core queues and the store buffer."""
+
+import pytest
+
+from repro.common.errors import QueueEmptyError, QueueFullError
+from repro.core.queues import (
+    BoundedQueue,
+    BranchOutcomeEntry,
+    LoadValueEntry,
+    RegisterValueEntry,
+    StoreBuffer,
+    StoreBufferEntry,
+)
+
+
+class TestBoundedQueue:
+    def test_fifo_order(self):
+        q = BoundedQueue(3)
+        for i in range(3):
+            q.push(i)
+        assert [q.pop() for _ in range(3)] == [0, 1, 2]
+
+    def test_push_full_raises(self):
+        q = BoundedQueue(1)
+        q.push("a")
+        with pytest.raises(QueueFullError):
+            q.push("b")
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(QueueEmptyError):
+            BoundedQueue(1).pop()
+
+    def test_peek(self):
+        q = BoundedQueue(2)
+        q.push("x")
+        assert q.peek() == "x"
+        assert q.occupancy == 1  # peek does not remove
+        with pytest.raises(QueueEmptyError):
+            BoundedQueue(1).peek()
+
+    def test_occupancy_fraction(self):
+        q = BoundedQueue(4)
+        q.push(1)
+        q.push(2)
+        assert q.occupancy_fraction == pytest.approx(0.5)
+
+    def test_flags(self):
+        q = BoundedQueue(1)
+        assert q.is_empty and not q.is_full
+        q.push(1)
+        assert q.is_full and not q.is_empty
+
+    def test_clear(self):
+        q = BoundedQueue(2)
+        q.push(1)
+        q.clear()
+        assert q.is_empty
+        assert q.total_pushes == 1  # statistics survive the flush
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(0)
+
+    def test_iteration(self):
+        q = BoundedQueue(3)
+        for i in range(3):
+            q.push(i)
+        assert list(q) == [0, 1, 2]
+        assert len(q) == 3
+
+
+class TestEntryTypes:
+    def test_register_value_entry(self):
+        e = RegisterValueEntry(seq=1, result=2, operand1=3, operand2=4)
+        assert (e.seq, e.result, e.operand1, e.operand2) == (1, 2, 3, 4)
+
+    def test_load_value_entry(self):
+        assert LoadValueEntry(5, 99).value == 99
+
+    def test_branch_outcome_entry(self):
+        e = BranchOutcomeEntry(7, True, 0x40)
+        assert e.taken and e.target == 0x40
+
+    def test_entries_are_frozen(self):
+        with pytest.raises(Exception):
+            LoadValueEntry(1, 2).value = 3
+
+
+class TestStoreBuffer:
+    def test_verified_store_drains(self):
+        stb = StoreBuffer(4)
+        stb.push(StoreBufferEntry(0, 0x100, 42))
+        assert stb.verify_and_drain(42)
+        assert stb.drained[0].value == 42
+        assert stb.mismatches == 0
+
+    def test_mismatch_is_dropped_and_counted(self):
+        stb = StoreBuffer(4)
+        stb.push(StoreBufferEntry(0, 0x100, 42))
+        assert not stb.verify_and_drain(43)
+        assert stb.drained == []
+        assert stb.mismatches == 1
+
+    def test_drain_order(self):
+        stb = StoreBuffer(4)
+        stb.push(StoreBufferEntry(0, 0x0, 1))
+        stb.push(StoreBufferEntry(1, 0x8, 2))
+        stb.verify_and_drain(1)
+        stb.verify_and_drain(2)
+        assert [e.value for e in stb.drained] == [1, 2]

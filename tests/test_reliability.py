@@ -1,0 +1,141 @@
+"""SER scaling, MBU, timing errors, checker resilience."""
+
+import pytest
+
+from repro.reliability.margins import (
+    checker_resilience,
+    compare_checker_processes,
+)
+from repro.reliability.ser import (
+    SER_PER_BIT_RELATIVE,
+    SoftErrorModel,
+    critical_charge_fc,
+    mbu_probability,
+    per_bit_ser,
+    total_chip_ser,
+)
+from repro.reliability.timing import TimingErrorModel, timing_error_rate
+
+
+class TestSerScaling:
+    def test_per_bit_rate_declines_with_scaling(self):
+        rates = [per_bit_ser(n) for n in (180, 130, 90, 65)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_chip_rate_rises_with_scaling(self):
+        """Figure 8: total SER increases despite the per-bit decline."""
+        totals = [total_chip_ser(n) for n in (180, 130, 90, 65)]
+        assert totals == sorted(totals)
+
+    def test_reference_normalisation(self):
+        assert total_chip_ser(180) == pytest.approx(1.0)
+
+    def test_90nm_beats_65nm_per_bit(self):
+        """Section 4: the older process is more SER-resilient."""
+        assert per_bit_ser(90) > per_bit_ser(65)  # larger critical charge...
+        assert per_bit_ser(65) / per_bit_ser(90) < 1.0
+
+    def test_unknown_node(self):
+        with pytest.raises(KeyError):
+            per_bit_ser(28)
+
+
+class TestMbu:
+    def test_probability_rises_as_charge_falls(self):
+        charges = [critical_charge_fc(n) for n in (180, 130, 90, 65, 45)]
+        probs = [mbu_probability(q) for q in charges]
+        assert probs == sorted(probs)
+
+    def test_bounded(self):
+        assert 0.0 < mbu_probability(0.1) < 1.0
+        assert mbu_probability(100.0) < 1e-10
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            mbu_probability(-1.0)
+
+    def test_older_node_has_fewer_mbus(self):
+        assert mbu_probability(critical_charge_fc(90)) < mbu_probability(
+            critical_charge_fc(65)
+        )
+
+
+class TestSoftErrorModel:
+    def test_fit_scales_with_node(self):
+        assert SoftErrorModel(90).fit_per_mbit() > SoftErrorModel(65).fit_per_mbit() * 0.9
+
+    def test_upset_probability_tiny_per_cycle(self):
+        model = SoftErrorModel(65)
+        p = model.upset_probability_per_cycle(bits=8 * 1024 * 1024 * 6)
+        assert 0.0 < p < 1e-9
+
+    def test_mbu_fraction(self):
+        assert 0.0 < SoftErrorModel(65).mbu_fraction() < 0.5
+
+
+class TestTimingModel:
+    def test_error_rate_falls_with_frequency(self):
+        model = TimingErrorModel()
+        rates = [
+            model.error_rate_per_instruction(f) for f in (1.0, 0.9, 0.8, 0.6)
+        ]
+        assert rates == sorted(rates, reverse=True)
+        assert rates[-1] < 1e-12  # at 0.6f the slack is enormous
+
+    def test_slack_at_060(self):
+        """Section 3.5: at 0.6x frequency, circuits finish within ~half the
+        cycle, leaving large margins."""
+        slack = TimingErrorModel().slack_fraction(0.6)
+        assert slack == pytest.approx(0.46, abs=0.02)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            TimingErrorModel().stage_error_probability(0.0)
+
+    def test_older_node_at_same_clock_misses_timing(self):
+        """A 90 nm circuit at the 65 nm peak clock violates timing."""
+        model = TimingErrorModel(feature_nm=90)
+        assert model.nominal_delay_fraction(reference_nm=65) > 1.0
+        assert model.error_rate_per_instruction(1.0, reference_nm=65) > 0.5
+
+    def test_older_node_fine_at_its_own_peak(self):
+        """Capped at 0.7x (1.4 GHz), the 90 nm checker has slack again."""
+        model = TimingErrorModel(feature_nm=90)
+        assert model.error_rate_per_instruction(0.6, reference_nm=65) < 1e-6
+
+    def test_convenience_wrapper(self):
+        assert timing_error_rate(0.6) == pytest.approx(
+            TimingErrorModel().error_rate_per_instruction(0.6)
+        )
+
+
+class TestResilience:
+    RESIDENCY = {0.4: 0.2, 0.5: 0.3, 0.6: 0.4, 0.7: 0.1}
+
+    def test_residency_weighted_rates(self):
+        result = checker_resilience(self.RESIDENCY)
+        assert result.expected_timing_error_rate < 1e-9
+        assert 0.4 < result.mean_slack_fraction < 0.7
+
+    def test_empty_residency_rejected(self):
+        with pytest.raises(ValueError):
+            checker_resilience({})
+
+    def test_process_comparison_favours_older_node(self):
+        """Section 4's conclusion: the 90 nm checker is more resilient.
+
+        The raw per-bit rate is higher at 90 nm (Figure 8's declining
+        per-bit curve), but its larger critical charge means far fewer
+        multi-bit upsets — the ones ECC cannot correct — and its timing
+        margins are what recovery actually depends on.
+        """
+        results = compare_checker_processes(self.RESIDENCY)
+        old = results["older-node"]
+        new = results["same-node"]
+        assert old.mbu_fraction < new.mbu_fraction
+        assert old.uncorrectable_upset_rate < new.uncorrectable_upset_rate
+
+    def test_capped_levels_fold_into_peak(self):
+        residency = {0.9: 0.5, 1.0: 0.5}
+        results = compare_checker_processes(residency, peak_ratio_old=0.7)
+        assert results["older-node"].feature_nm == 90

@@ -1,0 +1,93 @@
+"""Set-associative cache with LRU."""
+
+import pytest
+
+from repro.cache.sram import SetAssociativeCache
+from repro.common.config import CacheGeometry
+
+
+def small_cache(ways=2, sets=4, line=64):
+    return SetAssociativeCache(
+        CacheGeometry(size_bytes=ways * sets * line, ways=ways, line_bytes=line)
+    )
+
+
+def test_cold_miss_then_hit():
+    cache = small_cache()
+    assert not cache.access(0)
+    assert cache.access(0)
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_same_line_different_bytes_hit():
+    cache = small_cache()
+    cache.access(0)
+    assert cache.access(63)
+    assert not cache.access(64)
+
+
+def test_lru_eviction_order():
+    cache = small_cache(ways=2, sets=1, line=64)
+    cache.access(0)      # A
+    cache.access(64)     # B
+    cache.access(0)      # A again -> B is LRU
+    cache.access(128)    # C evicts B
+    assert cache.access(0)
+    assert not cache.access(64)
+
+
+def test_set_isolation():
+    cache = small_cache(ways=1, sets=4)
+    cache.access(0)            # set 0
+    cache.access(64)           # set 1
+    assert cache.access(0)
+    assert cache.access(64)
+
+
+def test_probe_does_not_mutate():
+    cache = small_cache()
+    cache.access(0)
+    assert cache.probe(0)
+    assert not cache.probe(64)
+    assert cache.misses == 1  # probe added nothing
+
+
+def test_fill_and_eviction_report():
+    cache = small_cache(ways=1, sets=1)
+    assert cache.fill(0) is None
+    victim = cache.fill(64)
+    assert victim == 0
+    assert cache.fill(64) is None  # already resident
+
+
+def test_invalidate():
+    cache = small_cache()
+    cache.access(0)
+    assert cache.invalidate(0)
+    assert not cache.invalidate(0)
+    assert not cache.access(0)  # miss again
+
+
+def test_capacity_invariant():
+    cache = small_cache(ways=2, sets=4)
+    for i in range(100):
+        cache.access(i * 64)
+    assert cache.resident_lines() <= 8
+
+
+def test_miss_rate():
+    cache = small_cache()
+    assert cache.miss_rate == 0.0
+    cache.access(0)
+    cache.access(0)
+    assert cache.miss_rate == pytest.approx(0.5)
+
+
+def test_working_set_within_capacity_has_no_capacity_misses():
+    cache = small_cache(ways=2, sets=4, line=64)  # 512 B
+    addresses = [i * 64 for i in range(8)]
+    for a in addresses:
+        cache.access(a)
+    for _ in range(3):
+        for a in addresses:
+            assert cache.access(a)

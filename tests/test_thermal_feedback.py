@@ -1,0 +1,67 @@
+"""Leakage-temperature feedback and DTM."""
+
+import pytest
+
+from repro.common.config import ChipModel
+from repro.experiments.thermal import standard_floorplan
+from repro.thermal.dtm import DtmController
+from repro.thermal.hotspot import ChipThermalModel
+from repro.thermal.leakage import leakage_scale, solve_with_leakage_feedback
+
+
+class TestLeakageScale:
+    def test_reference_is_unity(self):
+        assert leakage_scale(47.0) == pytest.approx(1.0)
+
+    def test_doubles_every_25c(self):
+        assert leakage_scale(72.0) == pytest.approx(2.0)
+        assert leakage_scale(97.0) == pytest.approx(4.0)
+
+    def test_cooling_reduces_leakage(self):
+        assert leakage_scale(22.0) == pytest.approx(0.5)
+
+
+class TestFeedback:
+    @pytest.fixture(scope="class")
+    def result(self):
+        plan = standard_floorplan(ChipModel.THREE_D_2A, checker_power_w=7.0)
+        return solve_with_leakage_feedback(ChipThermalModel(plan))
+
+    def test_converges(self, result):
+        assert result.iterations < 10
+
+    def test_feedback_adds_leakage(self, result):
+        assert result.extra_leakage_w > 0.0
+
+    def test_papers_negligibility_claim(self, result):
+        """Section 3.2: the impact of temperature on cache leakage is
+        negligible — a ~2 degree shift on a ~35 degree rise here (small;
+        the paper's cooler banks made it smaller still)."""
+        assert 0.0 <= result.peak_delta_c < 3.0
+
+    def test_feedback_heats_not_cools(self, result):
+        assert result.peak_delta_c >= 0.0
+
+
+class TestDtm:
+    def test_no_emergency_above_peak(self):
+        plan = standard_floorplan(ChipModel.TWO_D_A)
+        controller = DtmController(plan, trigger_c=150.0)
+        result = controller.steady_state()
+        assert not result.emergency
+        assert result.frequency_fraction == 1.0
+
+    def test_emergency_throttles(self):
+        plan = standard_floorplan(ChipModel.THREE_D_2A, checker_power_w=15.0)
+        controller = DtmController(plan, trigger_c=80.0)
+        result = controller.steady_state()
+        assert result.emergency
+        assert result.frequency_fraction < 1.0
+        assert result.throttled_peak_c <= 80.3
+        assert 0.0 < result.performance_cost < 0.7
+
+    def test_lower_trigger_throttles_harder(self):
+        plan = standard_floorplan(ChipModel.THREE_D_2A, checker_power_w=15.0)
+        mild = DtmController(plan, trigger_c=84.0).steady_state()
+        harsh = DtmController(plan, trigger_c=78.0).steady_state()
+        assert harsh.frequency_fraction < mild.frequency_fraction

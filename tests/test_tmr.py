@@ -1,0 +1,85 @@
+"""Triple modular redundancy (the Section 4 alternative)."""
+
+import pytest
+
+from repro.core.faults import Fault, FaultInjector, FaultKind, FaultRates, FaultSite
+from repro.core.functional import FunctionalRmt
+from repro.core.tmr import TmrSystem
+from repro.isa.trace import generate_trace
+from repro.workloads.profiles import get_profile
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(get_profile("gzip"), 6000, seed=23)
+
+
+@pytest.fixture(scope="module")
+def golden(trace):
+    return FunctionalRmt().run(trace).store_stream
+
+
+class TestFaultFree:
+    def test_all_votes_unanimous(self, trace):
+        result = TmrSystem().run(trace)
+        assert result.votes_unanimous == len(trace)
+        assert result.votes_majority == 0
+        assert result.votes_split == 0
+
+    def test_store_stream_matches_rmt(self, trace, golden):
+        assert TmrSystem().run(trace).store_stream == golden
+
+
+class _SingleReplicaFault:
+    """Corrupts replica 0's result at one instruction."""
+
+    def __init__(self, seq):
+        self.seq = seq
+
+    def faults_for(self, seq, core):
+        if seq == self.seq and core == "leading":
+            return [Fault(seq, FaultKind.SOFT_ERROR, FaultSite.LEADING_RESULT, (11,))]
+        return []
+
+
+class TestVoting:
+    def test_single_replica_error_is_outvoted(self, trace, golden):
+        target = next(i.seq for i in trace if i.writes_register and i.seq > 50)
+        result = TmrSystem(injector=_SingleReplicaFault(target)).run(trace)
+        assert result.votes_majority == 1
+        assert result.votes_split == 0
+        assert result.store_stream == golden
+
+    def test_campaign_masks_all_single_errors(self, trace, golden):
+        injector = FaultInjector(
+            leading=FaultRates(soft_error=2e-3), seed=31
+        )
+        result = TmrSystem(injector=injector).run(trace)
+        assert result.masked_errors > 0
+        assert result.store_stream == golden
+
+    def test_heavy_correlated_faults_can_split_votes(self, trace):
+        # Hammer two replicas simultaneously hard enough that votes split.
+        injector = FaultInjector(
+            leading=FaultRates(soft_error=0.05),
+            trailing=FaultRates(soft_error=0.05),
+            seed=3,
+        )
+        result = TmrSystem(injector=injector).run(trace)
+        assert result.votes_split + result.votes_majority > 0
+
+    def test_result_counts_sum(self, trace):
+        injector = FaultInjector(leading=FaultRates(soft_error=1e-3), seed=5)
+        result = TmrSystem(injector=injector).run(trace)
+        assert (
+            result.votes_unanimous + result.votes_majority + result.votes_split
+            == len(trace)
+        )
+
+    def test_corrupted_replica_heals(self, trace):
+        """After an outvoted error, the losing replica's regfile is fixed
+        by the voted write, so the error does not cascade."""
+        target = next(i.seq for i in trace if i.writes_register and i.seq > 50)
+        system = TmrSystem(injector=_SingleReplicaFault(target))
+        system.run(trace)
+        assert system.regfiles[0] == system.regfiles[1] == system.regfiles[2]

@@ -1,0 +1,66 @@
+"""Derived NUCA topology vs the calibrated hop tables."""
+
+import pytest
+
+from repro.cache.nuca import bank_hops_for_model
+from repro.common.config import ChipModel
+from repro.floorplan.layouts import build_floorplan
+from repro.interconnect.topology import (
+    average_hit_latency,
+    bank_grid_graph,
+    derive_bank_hops,
+)
+
+
+@pytest.fixture(scope="module")
+def plans():
+    return {
+        chip: build_floorplan(chip, checker_power_w=7.0)
+        for chip in ChipModel
+    }
+
+
+def test_graph_is_connected(plans):
+    import networkx as nx
+
+    for chip, plan in plans.items():
+        graph = bank_grid_graph(plan)
+        assert nx.is_connected(graph), chip
+
+
+def test_every_bank_reachable(plans):
+    for chip, plan in plans.items():
+        hops = derive_bank_hops(plan)
+        banks = [b.name for b in plan.blocks if b.name.startswith("bank")]
+        assert set(hops) == set(banks)
+        assert all(h >= 1 for h in hops.values())
+
+
+def test_derived_average_matches_calibrated_2da(plans):
+    """The hand-calibrated table (18-cycle average) must agree with the
+    latency the floorplan geometry implies, within a cycle or two."""
+    derived = average_hit_latency(plans[ChipModel.TWO_D_A])
+    table = bank_hops_for_model(ChipModel.TWO_D_A)
+    calibrated = sum(h * 4 + 6 for h in table) / len(table)
+    assert derived == pytest.approx(calibrated, abs=3.0)
+
+
+def test_derived_average_orderings(plans):
+    """2d-2a is farther on average than 2d-a; 3d-2a lands between them,
+    close to 2d-a (Section 3.3's observation)."""
+    lat = {
+        chip: average_hit_latency(plan)
+        for chip, plan in plans.items()
+        if chip is not ChipModel.THREE_D_CHECKER
+    }
+    assert lat[ChipModel.TWO_D_A] < lat[ChipModel.TWO_D_2A]
+    assert lat[ChipModel.TWO_D_A] <= lat[ChipModel.THREE_D_2A] <= lat[ChipModel.TWO_D_2A]
+
+
+def test_upper_die_banks_use_the_pillar(plans):
+    hops = derive_bank_hops(plans[ChipModel.THREE_D_2A])
+    plan = plans[ChipModel.THREE_D_2A]
+    upper = [b.name for b in plan.blocks if b.die == 1 and b.name.startswith("bank")]
+    # Upper banks start right at the pillar: their minimum hop distance is
+    # comparable to the lower die's closest banks.
+    assert min(hops[name] for name in upper) <= 2

@@ -1,0 +1,123 @@
+"""The synthetic trace generator."""
+
+import pytest
+
+from repro.core.branch import BranchPredictor
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import TraceGenerator, generate_trace
+from repro.workloads.profiles import get_profile
+
+N = 20_000
+
+
+@pytest.fixture(scope="module")
+def gzip_trace():
+    return generate_trace(get_profile("gzip"), N, seed=5)
+
+
+def test_trace_length(gzip_trace):
+    assert len(gzip_trace) == N
+
+
+def test_sequence_numbers_are_contiguous(gzip_trace):
+    assert [i.seq for i in gzip_trace] == list(range(N))
+
+
+def test_determinism():
+    a = generate_trace(get_profile("mcf"), 2000, seed=9)
+    b = generate_trace(get_profile("mcf"), 2000, seed=9)
+    for x, y in zip(a, b):
+        assert (x.op, x.dst, x.src1, x.src2, x.pc, x.address, x.taken) == (
+            y.op, y.dst, y.src1, y.src2, y.pc, y.address, y.taken
+        )
+
+
+def test_seed_changes_trace():
+    a = generate_trace(get_profile("mcf"), 2000, seed=1)
+    b = generate_trace(get_profile("mcf"), 2000, seed=2)
+    assert any(x.address != y.address for x, y in zip(a, b))
+
+
+def test_incremental_generation_matches_bulk():
+    gen = TraceGenerator(get_profile("gzip"), seed=5)
+    first = gen.generate(1000)
+    second = gen.generate(1000)
+    bulk = generate_trace(get_profile("gzip"), 2000, seed=5)
+    combined = first + second
+    for x, y in zip(combined, bulk):
+        assert (x.op, x.address, x.src1) == (y.op, y.address, y.src1)
+
+
+def test_instruction_mix_matches_profile(gzip_trace):
+    profile = get_profile("gzip")
+    loads = sum(1 for i in gzip_trace if i.op is OpClass.LOAD)
+    stores = sum(1 for i in gzip_trace if i.op is OpClass.STORE)
+    branches = sum(1 for i in gzip_trace if i.op is OpClass.BRANCH)
+    assert loads / N == pytest.approx(profile.frac_load, abs=0.01)
+    assert stores / N == pytest.approx(profile.frac_store, abs=0.01)
+    assert branches / N == pytest.approx(profile.frac_branch, abs=0.01)
+
+
+def test_memory_ops_have_addresses(gzip_trace):
+    for instr in gzip_trace:
+        if instr.op.is_memory:
+            assert instr.address > 0 or instr.address == 0
+            assert instr.address % 8 == 0
+
+
+def test_fp_profile_generates_fp_ops():
+    trace = generate_trace(get_profile("swim"), 5000, seed=3)
+    fp = sum(1 for i in trace if i.op.is_fp)
+    assert fp / len(trace) > 0.3
+
+
+def test_int_profile_generates_no_fp():
+    trace = generate_trace(get_profile("gzip"), 5000, seed=3)
+    assert all(not i.op.is_fp for i in trace)
+
+
+def test_branch_sites_are_reused(gzip_trace):
+    pcs = {i.pc for i in gzip_trace if i.is_branch}
+    branches = sum(1 for i in gzip_trace if i.is_branch)
+    assert branches > 10 * len(pcs)  # hot sites executed many times
+
+
+def test_pointer_chase_creates_load_dependences():
+    profile = get_profile("mcf")
+    trace = generate_trace(profile, 10_000, seed=4)
+    last_load_dst = -1
+    chained = 0
+    loads = 0
+    for instr in trace:
+        if instr.op is OpClass.LOAD:
+            loads += 1
+            if instr.src1 == last_load_dst and last_load_dst >= 0:
+                chained += 1
+            last_load_dst = instr.dst
+    assert chained / loads > profile.pointer_chase_fraction * 0.5
+
+
+def test_pretrain_predictor_reduces_mispredicts():
+    profile = get_profile("gzip")
+    trace = generate_trace(profile, 20_000, seed=11)
+
+    cold = BranchPredictor()
+    for i in trace:
+        if i.is_branch:
+            cold.update(i.pc, i.taken, i.target)
+    cold_rate = cold.misprediction_rate
+
+    warm = BranchPredictor()
+    TraceGenerator(profile, seed=11).pretrain_predictor(warm)
+    for i in trace:
+        if i.is_branch:
+            warm.update(i.pc, i.taken, i.target)
+    assert warm.misprediction_rate < cold_rate
+
+
+def test_cold_region_streams_new_lines():
+    profile = get_profile("mcf")
+    trace = generate_trace(profile, 50_000, seed=2)
+    cold = [i.address for i in trace if i.op.is_memory and i.address >= 0x4000_0000]
+    assert len(cold) > 0
+    assert len(set(a >> 6 for a in cold)) == len(cold)  # every access a new line

@@ -1,0 +1,86 @@
+"""The transient thermal solver."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ThermalModelError
+from repro.thermal.grid import GridThermalModel
+from repro.thermal.materials import Layer
+from repro.thermal.transient import TransientThermalModel
+
+_ROWS = _COLS = 8
+
+
+@pytest.fixture(scope="module")
+def grid():
+    layers = [
+        Layer("cu_base", 1e-3, 1.0 / 400.0),
+        Layer("bulk_si", 200e-6, 0.01),
+        Layer("active", 1e-6, 0.01, has_power=True),
+    ]
+    return GridThermalModel(
+        layers=layers, width_m=4e-3, height_m=4e-3, rows=_ROWS, cols=_COLS,
+        sink_r_k_mm2_per_w=10.0, secondary_r_k_mm2_per_w=1e5, ambient_c=47.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def power():
+    p = np.zeros((_ROWS, _COLS))
+    p[3:5, 3:5] = 1.0   # 4 W hotspot
+    return p
+
+
+def test_initial_state_is_ambient(grid):
+    model = TransientThermalModel(grid)
+    assert np.allclose(model.initial_state(), 47.0)
+
+
+def test_invalid_timestep(grid):
+    with pytest.raises(ThermalModelError):
+        TransientThermalModel(grid, timestep_s=0.0)
+
+
+def test_heating_is_monotone_from_ambient(grid, power):
+    model = TransientThermalModel(grid, timestep_s=1e-4)
+    _, peaks = model.run({"active": power}, duration_s=3e-3)
+    assert all(b >= a - 1e-9 for a, b in zip(peaks, peaks[1:]))
+    assert peaks[0] > 47.0
+
+
+def test_converges_to_steady_state(grid, power):
+    model = TransientThermalModel(grid, timestep_s=2e-3)
+    state, _ = model.run({"active": power}, duration_s=3.0)
+    steady = grid.solve({"active": power})["active"]
+    transient_active = state[-_ROWS * _COLS :].reshape(_ROWS, _COLS)
+    assert np.allclose(transient_active, steady, atol=0.05)
+
+
+def test_cooling_decays_back_to_ambient(grid, power):
+    model = TransientThermalModel(grid, timestep_s=2e-3)
+    hot, _ = model.run({"active": power}, duration_s=1.0)
+    cooled, peaks = model.run(
+        {"active": np.zeros((_ROWS, _COLS))}, duration_s=3.0, state=hot
+    )
+    assert peaks[-1] < peaks[0]
+    assert np.allclose(cooled, 47.0, atol=0.1)
+
+
+def test_step_power_faster_with_small_capacity(grid, power):
+    """Thermal time constants: one step moves a fraction toward steady."""
+    model = TransientThermalModel(grid, timestep_s=1e-4)
+    state = model.step(model.initial_state(), {"active": power})
+    steady = grid.solve({"active": power})["active"].max()
+    assert 47.0 < state.max() < steady
+
+
+def test_peak_of_layer(grid, power):
+    model = TransientThermalModel(grid, timestep_s=1e-3)
+    state, _ = model.run({"active": power}, duration_s=0.05)
+    assert model.peak_of(state, "active") >= model.peak_of(state, "cu_base")
+
+
+def test_wrong_layer_rejected(grid):
+    model = TransientThermalModel(grid)
+    with pytest.raises(ThermalModelError):
+        model.step(model.initial_state(), {"cu_base": np.ones((_ROWS, _COLS))})

@@ -1,0 +1,83 @@
+"""ASCII visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import ChipModel
+from repro.floorplan.layouts import build_floorplan
+from repro.viz import bar_chart, floorplan_map, heatmap
+
+
+class TestHeatmap:
+    def test_shape(self):
+        grid = np.random.default_rng(1).random((50, 50))
+        text = heatmap(grid, width=40, height=20)
+        lines = text.splitlines()
+        assert len(lines) == 21  # 20 rows + legend
+        assert all(len(line) == 40 for line in lines[:20])
+
+    def test_hot_cell_uses_densest_glyph(self):
+        grid = np.zeros((10, 10))
+        grid[5, 5] = 100.0
+        text = heatmap(grid, width=10, height=10, legend=False)
+        assert "@" in text
+
+    def test_uniform_field(self):
+        text = heatmap(np.full((5, 5), 3.0), width=5, height=5, legend=False)
+        assert len(set(text.replace("\n", ""))) == 1
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros(5))
+
+    def test_explicit_range(self):
+        grid = np.full((4, 4), 50.0)
+        text = heatmap(grid, vmin=0.0, vmax=100.0, legend=True)
+        assert "0.0" in text and "100.0" in text
+
+
+class TestFloorplanMap:
+    def test_renders_all_blocks(self):
+        plan = build_floorplan(ChipModel.TWO_D_A)
+        text = floorplan_map(plan, die=0)
+        for block in plan.die_blocks(0):
+            assert block.name in text
+
+    def test_upper_die(self):
+        plan = build_floorplan(ChipModel.THREE_D_2A, checker_power_w=7.0)
+        text = floorplan_map(plan, die=1)
+        assert "checker" in text
+
+    def test_empty_die_rejected(self):
+        plan = build_floorplan(ChipModel.TWO_D_A)
+        with pytest.raises(ValueError):
+            floorplan_map(plan, die=1)
+
+    def test_core_at_bottom(self):
+        """The core strip (y=0) must render at the bottom of the map."""
+        plan = build_floorplan(ChipModel.TWO_D_A)
+        text = floorplan_map(plan, die=0, width=30, height=12)
+        rows = text.splitlines()[:12]
+        legend_letter = None
+        for line in text.splitlines():
+            if "= icache" in line:
+                legend_letter = line.split("=")[0].strip()
+        assert legend_letter is not None
+        assert legend_letter in rows[-1]     # bottom row
+        assert legend_letter not in rows[0]  # not the top row
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = bar_chart({"a": 0.5, "b": 1.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_zero_values(self):
+        text = bar_chart({"x": 0.0}, width=10)
+        assert "#" not in text

@@ -1,0 +1,59 @@
+"""Serial-vs-parallel wall clock of the experiment engine.
+
+Runs a representative simulation sweep (Figure 6 over a benchmark subset)
+once with ``jobs=1`` and once with a worker pool, prints the wall-clock
+comparison plus the engine's own per-sweep timing table, and asserts the
+two runs are bit-identical — the engine's core contract.  The measured
+speedup is informational: on a single-core host the parallel run pays
+pool overhead and lands below 1x, which is exactly why it is printed
+rather than asserted.
+"""
+
+import dataclasses
+import os
+import time
+
+import pytest
+from conftest import BENCH_WINDOW, print_table
+
+from repro.experiments import engine
+from repro.experiments.perf import fig6_performance
+from repro.workloads.profiles import get_profile
+
+SUBSET = [get_profile(name) for name in ("gzip", "mcf", "mesa", "swim")]
+
+
+@pytest.mark.slow
+def test_engine_speedup(benchmark):
+    engine.clear_timings()
+    jobs = min(os.cpu_count() or 1, 4)
+
+    start = time.perf_counter()
+    serial = fig6_performance(window=BENCH_WINDOW, benchmarks=SUBSET, jobs=1)
+    serial_s = time.perf_counter() - start
+
+    def parallel_run():
+        return fig6_performance(
+            window=BENCH_WINDOW, benchmarks=SUBSET, jobs=jobs
+        )
+
+    start = time.perf_counter()
+    parallel = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    parallel_s = time.perf_counter() - start
+
+    print_table(
+        "Engine speedup: fig6_performance over 4 benchmarks",
+        ["mode", "jobs", "wall (s)"],
+        [
+            ["serial", 1, round(serial_s, 2)],
+            ["parallel", jobs, round(parallel_s, 2)],
+        ],
+    )
+    print(f"speedup: {serial_s / parallel_s:.2f}x with {jobs} workers "
+          f"({os.cpu_count()} cores visible)")
+    print(engine.format_timing_summary())
+
+    # The contract that matters everywhere: identical results.
+    assert [dataclasses.asdict(r) for r in serial] == [
+        dataclasses.asdict(r) for r in parallel
+    ]

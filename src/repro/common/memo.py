@@ -1,0 +1,245 @@
+"""Keyed memoization of immutable simulation artifacts.
+
+``runner._prepare`` historically re-ran trace generation, cache
+preloading, and predictor pretraining for every single simulation, even
+when the ``(profile, seed, window)`` key was identical across a sweep's
+inner loop (``fig6_performance`` regenerates the same trace four times
+per benchmark).  This module caches the artifacts that are safe to
+share and rebuilds the ones that are not:
+
+* **traces** — ``Instruction`` is ``__slots__``-only and treated as
+  immutable by every consumer, so one generated stream is shared.  The
+  generator is kept alive per ``(profile, seed)`` so a longer request
+  extends the existing stream instead of starting over (chunked
+  generation makes prefixes stable), and callers receive a *tuple* so
+  they cannot corrupt the shared artifact.
+* **pretrained branch predictors** — pretraining replays thousands of
+  outcomes through pure-Python tables; the cache trains once and hands
+  out :meth:`~repro.core.branch.BranchPredictor.clone` copies, because
+  predictors mutate during simulation.
+* **thermal models** — :class:`~repro.thermal.hotspot.ChipThermalModel`
+  LU-factorises its conductance matrix at construction.  Factorisation
+  depends only on geometry (stack, die size, block rectangles), never on
+  power, so models are cached by geometry key and re-solved per power
+  assignment; the inner :class:`~repro.thermal.grid.GridThermalModel` is
+  additionally shared between floorplans with identical stacks.
+
+Mutable per-run state — ``MemoryHierarchy``, queue occupancy, DFS
+controllers — is deliberately *not* cached: it is rebuilt for every
+simulation, which is what keeps parallel and serial sweeps bit-identical.
+
+Caches are process-local.  Parallel workers each build their own (the
+engine's chunked submission keeps one benchmark's tasks on one worker so
+the warm cache gets hits).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.workloads.profiles import WorkloadProfile
+
+__all__ = ["MemoStats", "ArtifactCache", "get_cache", "clear_cache"]
+
+# Traces dominate the cache's footprint (hundreds of bytes per dynamic
+# instruction), so only the most recently used streams are kept.  The
+# sweep drivers iterate benchmark-major, which makes even a small LRU
+# window hit on every inner-loop re-request.
+_TRACE_LRU_ENTRIES = 4
+
+
+@dataclass
+class MemoStats:
+    """Hit/miss counts for one artifact category."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+
+@dataclass
+class _TraceEntry:
+    generator: object
+    trace: list = field(default_factory=list)
+
+
+class ArtifactCache:
+    """Process-local cache of reusable simulation artifacts."""
+
+    def __init__(self, max_trace_entries: int = _TRACE_LRU_ENTRIES):
+        self._max_trace_entries = max_trace_entries
+        self._traces: OrderedDict[tuple, _TraceEntry] = OrderedDict()
+        self._predictors: dict[tuple, object] = {}
+        self._thermal_models: dict[tuple, object] = {}
+        self._grids: dict[tuple, object] = {}
+        self.stats: dict[str, MemoStats] = {
+            "trace": MemoStats(),
+            "predictor": MemoStats(),
+            "thermal": MemoStats(),
+            "grid": MemoStats(),
+        }
+
+    def clear(self) -> None:
+        """Drop every cached artifact and reset the statistics."""
+        self._traces.clear()
+        self._predictors.clear()
+        self._thermal_models.clear()
+        self._grids.clear()
+        for stats in self.stats.values():
+            stats.hits = 0
+            stats.misses = 0
+
+    # -- traces --------------------------------------------------------
+    def trace(self, profile: WorkloadProfile, seed: int, count: int) -> tuple:
+        """The first ``count`` instructions of ``(profile, seed)``'s stream.
+
+        Returns an immutable tuple over shared ``Instruction`` objects.  A
+        request longer than what is cached extends the live generator
+        (chunked generation keeps prefixes identical to a fresh
+        ``generate(count)``), so differing windows share one stream.
+        """
+        from repro.isa.trace import TraceGenerator
+
+        key = (profile, seed)
+        entry = self._traces.get(key)
+        if entry is None:
+            entry = _TraceEntry(generator=TraceGenerator(profile, seed=seed))
+            self._traces[key] = entry
+            if len(self._traces) > self._max_trace_entries:
+                self._traces.popitem(last=False)
+        self._traces.move_to_end(key)
+        if len(entry.trace) >= count:
+            self.stats["trace"].hits += 1
+        else:
+            self.stats["trace"].misses += 1
+            entry.trace.extend(
+                entry.generator.generate(count - len(entry.trace))
+            )
+        return tuple(entry.trace[:count])
+
+    # -- branch predictors ---------------------------------------------
+    def pretrained_predictor(self, profile: WorkloadProfile, seed: int):
+        """A freshly cloned, pretrained predictor for ``(profile, seed)``.
+
+        The master copy is trained once and never simulated; every caller
+        receives an independent clone, so one run's updates cannot leak
+        into another.
+        """
+        from repro.core.branch import BranchPredictor
+        from repro.isa.trace import TraceGenerator
+
+        key = (profile, seed)
+        master = self._predictors.get(key)
+        if master is None:
+            self.stats["predictor"].misses += 1
+            master = BranchPredictor()
+            TraceGenerator(profile, seed=seed).pretrain_predictor(master)
+            self._predictors[key] = master
+        else:
+            self.stats["predictor"].hits += 1
+        return master.clone()
+
+    # -- thermal models ------------------------------------------------
+    @staticmethod
+    def _geometry_key(floorplan, config) -> tuple:
+        blocks = tuple(
+            (b.name, b.die, b.rect.x, b.rect.y, b.rect.width, b.rect.height)
+            for b in floorplan.blocks
+        )
+        return (
+            floorplan.num_dies,
+            floorplan.die_width_mm,
+            floorplan.die_height_mm,
+            blocks,
+            config,
+        )
+
+    def _grid_factory(self, **kwargs):
+        """Build (or reuse) a grid solver keyed by its full geometry."""
+        from repro.thermal.grid import GridThermalModel
+
+        key = (
+            tuple(kwargs["layers"]),
+            kwargs["width_m"],
+            kwargs["height_m"],
+            kwargs["rows"],
+            kwargs["cols"],
+            kwargs["sink_r_k_mm2_per_w"],
+            kwargs["secondary_r_k_mm2_per_w"],
+            kwargs["ambient_c"],
+        )
+        grid = self._grids.get(key)
+        if grid is None:
+            self.stats["grid"].misses += 1
+            grid = GridThermalModel(**kwargs)
+            self._grids[key] = grid
+        else:
+            self.stats["grid"].hits += 1
+        return grid
+
+    def thermal_model(self, floorplan, config=None):
+        """A :class:`ChipThermalModel` for ``floorplan``'s geometry.
+
+        Cached by geometry, *not* power: callers must pass their block
+        powers to ``solve`` (or use :meth:`solve_floorplan`).  The LU
+        factorisation therefore happens once per stack geometry per
+        process, however many power assignments are swept over it.
+        """
+        from repro.common.config import ThermalConfig
+        from repro.thermal.hotspot import ChipThermalModel
+
+        config = config or ThermalConfig()
+        key = self._geometry_key(floorplan, config)
+        model = self._thermal_models.get(key)
+        if model is None:
+            self.stats["thermal"].misses += 1
+            model = ChipThermalModel(
+                floorplan, config, grid_factory=self._grid_factory
+            )
+            self._thermal_models[key] = model
+        else:
+            self.stats["thermal"].hits += 1
+        return model
+
+    def solve_floorplan(self, floorplan, config=None, overrides=None):
+        """Solve ``floorplan`` with its own powers on the cached model.
+
+        Equivalent to ``ChipThermalModel(floorplan, config).solve(overrides)``
+        but reuses the factorisation for any floorplan sharing the
+        geometry; the power map (block powers and distributed wire power)
+        is taken from the floorplan being solved, not the cached one, with
+        ``overrides`` replacing individual block powers on top.
+        """
+        model = self.thermal_model(floorplan, config)
+        powers = {b.name: b.power_w for b in floorplan.blocks}
+        if overrides:
+            powers.update(overrides)
+        saved = model.floorplan.distributed_power_w
+        model.floorplan.distributed_power_w = floorplan.distributed_power_w
+        try:
+            return model.solve(powers)
+        finally:
+            model.floorplan.distributed_power_w = saved
+
+
+_GLOBAL_CACHE = ArtifactCache()
+
+
+def get_cache() -> ArtifactCache:
+    """This process's shared artifact cache."""
+    return _GLOBAL_CACHE
+
+
+def clear_cache() -> None:
+    """Drop all artifacts from the process-wide cache."""
+    _GLOBAL_CACHE.clear()

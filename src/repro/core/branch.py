@@ -101,6 +101,24 @@ class BranchPredictor:
                 del ways[0]
         return mispredicted
 
+    def clone(self) -> "BranchPredictor":
+        """An independent copy with identical tables, history, and stats.
+
+        Lets a pretrained predictor be cached and handed out repeatedly
+        (see :mod:`repro.common.memo`): the clone behaves exactly like the
+        original from this state on, but updates to either never affect
+        the other.
+        """
+        other = BranchPredictor(self.config, name=self.stats.name)
+        other._bimodal = list(self._bimodal)
+        other._pht = list(self._pht)
+        other._chooser = list(self._chooser)
+        other._history = self._history
+        other._btb = [list(ways) for ways in self._btb]
+        other._lookups.value = self._lookups.value
+        other._mispredicts.value = self._mispredicts.value
+        return other
+
     # ------------------------------------------------------------------
     @property
     def lookups(self) -> int:

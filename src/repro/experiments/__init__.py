@@ -50,10 +50,20 @@ from repro.experiments.pipeline_depth import (
     slack_comparison,
     table5_pipeline_power,
 )
+from repro.experiments.engine import (
+    SweepTiming,
+    format_timing_summary,
+    parallel_map,
+    resolve_jobs,
+    run_sweep,
+    timing_summary,
+)
 from repro.experiments.runner import (
     DEFAULT_WINDOW,
+    SimTask,
     SimulationWindow,
     build_memory,
+    run_sim_task,
     simulate_leading,
     simulate_rmt,
 )
@@ -119,10 +129,18 @@ __all__ = [
     "slack_comparison",
     "table5_pipeline_power",
     "DEFAULT_WINDOW",
+    "SimTask",
     "SimulationWindow",
+    "SweepTiming",
     "build_memory",
+    "format_timing_summary",
+    "parallel_map",
+    "resolve_jobs",
+    "run_sim_task",
+    "run_sweep",
     "simulate_leading",
     "simulate_rmt",
+    "timing_summary",
     "Table8Row",
     "fig8_ser_scaling",
     "fig9_mbu_curve",

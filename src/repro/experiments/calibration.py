@@ -11,10 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.config import ChipModel
+from repro.experiments import engine
 from repro.experiments.runner import (
     DEFAULT_WINDOW,
+    SimTask,
     SimulationWindow,
-    simulate_leading,
+    run_sim_task,
 )
 from repro.workloads.profiles import WorkloadProfile, spec2k_suite
 
@@ -42,12 +44,22 @@ def calibration_audit(
     window: SimulationWindow = DEFAULT_WINDOW,
     seed: int = 42,
     benchmarks: list[WorkloadProfile] | None = None,
+    jobs: int | None = None,
 ) -> list[CalibrationRow]:
     """Simulate every profile on the 2d-a baseline and compare to targets."""
     benchmarks = benchmarks if benchmarks is not None else spec2k_suite()
+    tasks = [
+        SimTask(
+            kind="leading", profile=p, chip=ChipModel.TWO_D_A,
+            window=window, seed=seed,
+        )
+        for p in benchmarks
+    ]
+    results = engine.parallel_map(
+        run_sim_task, tasks, jobs=jobs, chunksize=1, label="calibration_audit"
+    )
     rows = []
-    for profile in benchmarks:
-        run = simulate_leading(profile, ChipModel.TWO_D_A, window=window, seed=seed)
+    for profile, run in zip(benchmarks, results):
         rows.append(
             CalibrationRow(
                 benchmark=profile.name,

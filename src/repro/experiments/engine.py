@@ -1,0 +1,213 @@
+"""Parallel experiment execution engine.
+
+Every figure/table driver is a sweep over independent ``(benchmark x chip
+model x policy)`` simulations, so the drivers submit their task lists here
+instead of running nested loops inline.  The engine provides:
+
+* :func:`parallel_map` / :func:`run_sweep` — order-preserving map over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` with chunked submission
+  (chunks keep a worker on one benchmark's tasks so its per-process
+  artifact cache gets hits; see :mod:`repro.common.memo`);
+* a worker-count policy: an explicit ``jobs`` argument wins, then the
+  ``REPRO_JOBS`` environment variable, then ``os.cpu_count()``.
+  ``jobs=1`` is a pure in-process serial loop — no executor, no pickling —
+  so ``pdb``, profilers, and coverage keep working;
+* per-task wall-clock capture: each sweep records a :class:`SweepTiming`
+  (task count, summed task CPU-seconds, sweep wall-seconds, speedup) into
+  a process-local registry that ``experiments/report.py`` and the
+  benchmark harness render.
+
+Determinism: results are returned in task-submission order regardless of
+completion order, and every task re-derives its artifacts from explicit
+``(profile, seed, window)`` keys, so a parallel sweep is bit-identical to
+the serial one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.common.errors import ConfigError
+
+__all__ = [
+    "JOBS_ENV_VAR",
+    "SweepTiming",
+    "resolve_jobs",
+    "parallel_map",
+    "run_sweep",
+    "timings",
+    "clear_timings",
+    "timing_summary",
+    "format_timing_summary",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+# Upper bound on auto-detected workers: sweeps are memory-hungry (each
+# worker holds its own artifact cache), so "as many as the machine has"
+# is capped unless the user asks explicitly.
+_MAX_AUTO_JOBS = 16
+
+
+@dataclass
+class SweepTiming:
+    """Wall-clock accounting of one sweep through the engine."""
+
+    label: str
+    jobs: int
+    task_wall_s: list[float] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def tasks(self) -> int:
+        """Number of tasks the sweep ran."""
+        return len(self.task_wall_s)
+
+    @property
+    def cpu_s(self) -> float:
+        """Summed per-task wall time — the serial-equivalent cost."""
+        return sum(self.task_wall_s)
+
+    @property
+    def speedup(self) -> float:
+        """Serial-equivalent time over actual wall time (1.0 when serial)."""
+        return self.cpu_s / self.wall_s if self.wall_s > 0 else 1.0
+
+
+_TIMINGS: list[SweepTiming] = []
+
+
+def timings() -> list[SweepTiming]:
+    """Sweep timings recorded in this process, oldest first."""
+    return list(_TIMINGS)
+
+
+def clear_timings() -> None:
+    """Forget all recorded sweep timings."""
+    _TIMINGS.clear()
+
+
+def timing_summary() -> list[dict]:
+    """The recorded timings as plain dicts (JSON-serialisable)."""
+    return [
+        {
+            "label": t.label,
+            "tasks": t.tasks,
+            "jobs": t.jobs,
+            "cpu_s": round(t.cpu_s, 3),
+            "wall_s": round(t.wall_s, 3),
+            "speedup": round(t.speedup, 2),
+        }
+        for t in _TIMINGS
+    ]
+
+
+def format_timing_summary() -> str:
+    """Human-readable table of every sweep recorded so far."""
+    rows = timing_summary()
+    if not rows:
+        return "no sweeps recorded"
+    header = ["sweep", "tasks", "jobs", "cpu (s)", "wall (s)", "speedup"]
+    table = [
+        [r["label"], str(r["tasks"]), str(r["jobs"]), f"{r['cpu_s']:.2f}",
+         f"{r['wall_s']:.2f}", f"{r['speedup']:.2f}x"]
+        for r in rows
+    ]
+    widths = [
+        max(len(header[i]), max(len(row[i]) for row in table))
+        for i in range(len(header))
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(row, widths)) for row in table]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------
+def resolve_jobs(jobs: int | None = None) -> int:
+    """The worker count to use: argument, then ``REPRO_JOBS``, then cores."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if raw:
+            try:
+                jobs = int(raw)
+            except ValueError:
+                raise ConfigError(
+                    f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
+                ) from None
+        else:
+            jobs = min(os.cpu_count() or 1, _MAX_AUTO_JOBS)
+    if jobs < 1:
+        raise ConfigError(f"worker count must be >= 1, got {jobs}")
+    return jobs
+
+
+def _timed_call(fn: Callable[[T], R], item: T) -> tuple[R, float]:
+    """Run one task and capture its wall time (executed in the worker)."""
+    start = time.perf_counter()
+    result = fn(item)
+    return result, time.perf_counter() - start
+
+
+def run_sweep(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int | None = None,
+    chunksize: int | None = None,
+    label: str = "sweep",
+    record: bool = True,
+) -> tuple[list[R], SweepTiming]:
+    """Map ``fn`` over ``items``, preserving order, and time every task.
+
+    ``fn`` must be a module-level callable and every item picklable when
+    more than one worker is used (tasks cross a process boundary).  With
+    ``jobs=1`` nothing is pickled and everything runs in-process.
+    ``chunksize`` controls how many consecutive tasks a worker takes at
+    once; drivers pass the inner-loop length so one worker runs all of a
+    benchmark's chip models and reuses its memoized trace.
+    """
+    tasks: Sequence[T] = list(items)
+    jobs = min(resolve_jobs(jobs), max(1, len(tasks)))
+    timing = SweepTiming(label=label, jobs=jobs)
+    start = time.perf_counter()
+    if jobs == 1:
+        results = []
+        for item in tasks:
+            result, wall = _timed_call(fn, item)
+            results.append(result)
+            timing.task_wall_s.append(wall)
+    else:
+        if chunksize is None:
+            chunksize = max(1, -(-len(tasks) // (jobs * 4)))
+        results = []
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for result, wall in pool.map(
+                partial(_timed_call, fn), tasks, chunksize=chunksize
+            ):
+                results.append(result)
+                timing.task_wall_s.append(wall)
+    timing.wall_s = time.perf_counter() - start
+    if record:
+        _TIMINGS.append(timing)
+    return results, timing
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int | None = None,
+    chunksize: int | None = None,
+    label: str = "sweep",
+) -> list[R]:
+    """:func:`run_sweep` without the timing handle (it is still recorded)."""
+    results, _ = run_sweep(
+        fn, items, jobs=jobs, chunksize=chunksize, label=label
+    )
+    return results

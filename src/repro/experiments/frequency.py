@@ -10,10 +10,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.config import ChipModel
+from repro.experiments import engine
 from repro.experiments.runner import (
     DEFAULT_WINDOW,
+    SimTask,
     SimulationWindow,
-    simulate_rmt,
+    run_sim_task,
 )
 from repro.workloads.profiles import WorkloadProfile, spec2k_suite
 
@@ -49,15 +51,23 @@ def fig7_frequency_histogram(
     chip: ChipModel = ChipModel.THREE_D_2A,
     seed: int = 42,
     benchmarks: list[WorkloadProfile] | None = None,
+    jobs: int | None = None,
 ) -> Fig7Result:
     """Run the suite through the RMT co-simulation and aggregate DFS state."""
     benchmarks = benchmarks if benchmarks is not None else spec2k_suite()
+    tasks = [
+        SimTask(kind="rmt", profile=p, chip=chip, window=window, seed=seed)
+        for p in benchmarks
+    ]
+    results = engine.parallel_map(
+        run_sim_task, tasks, jobs=jobs, chunksize=1,
+        label="fig7_frequency_histogram",
+    )
     aggregate: dict[float, float] = {}
     per_benchmark: dict[str, float] = {}
     stalls = 0
     instructions = 0
-    for profile in benchmarks:
-        result = simulate_rmt(profile, chip, window=window, seed=seed)
+    for profile, result in zip(benchmarks, results):
         for level, fraction in result.frequency_residency.items():
             aggregate[level] = aggregate.get(level, 0.0) + fraction
         per_benchmark[profile.name] = result.mean_frequency_fraction

@@ -16,12 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cache.cacti import CactiModel, logic_area_scale
+from repro.common import memo
 from repro.common.config import ChipModel, ThermalConfig
+from repro.experiments import engine
 from repro.experiments.frequency import fig7_frequency_histogram
 from repro.experiments.runner import (
     DEFAULT_WINDOW,
+    SimTask,
     SimulationWindow,
-    simulate_rmt,
+    run_sim_task,
 )
 from repro.experiments.thermal import standard_floorplan
 from repro.floorplan.blocks import CHECKER_CORE_AREA_MM2
@@ -31,7 +34,6 @@ from repro.power.itrs import (
     relative_gate_delay,
 )
 from repro.reliability.margins import compare_checker_processes
-from repro.thermal.hotspot import ChipThermalModel
 from repro.workloads.profiles import WorkloadProfile, spec2k_suite
 
 __all__ = ["HeteroCheckerResult", "section4_heterogeneous", "checker_power_at_node"]
@@ -100,6 +102,7 @@ def section4_heterogeneous(
     seed: int = 42,
     benchmarks: list[WorkloadProfile] | None = None,
     with_thermal_constraint: bool = True,
+    jobs: int | None = None,
 ) -> HeteroCheckerResult:
     """Full Section 4 analysis for the pessimistic (15 W-class) checker."""
     from repro.experiments.thermal_constraint import constant_thermal_performance
@@ -131,36 +134,46 @@ def section4_heterogeneous(
         bank_powers_w=[bank65.static_power_w + 0.05] * 6
         + [bank90.static_power_w + 0.05] * 5,
     )
-    homo_solved = ChipThermalModel(homo, thermal).solve()
-    hetero_solved = ChipThermalModel(hetero, thermal).solve()
-    baseline_peak = ChipThermalModel(
+    cache = memo.get_cache()
+    homo_solved = cache.solve_floorplan(homo, thermal)
+    hetero_solved = cache.solve_floorplan(hetero, thermal)
+    baseline_peak = cache.solve_floorplan(
         standard_floorplan(ChipModel.TWO_D_A), thermal
-    ).solve().peak_c
+    ).peak_c
 
     loss_homo = loss_hetero = 0.0
     if with_thermal_constraint:
         loss_homo = constant_thermal_performance(
             checker_power_w=checker_power_w, window=window, thermal=thermal,
-            seed=seed, benchmarks=benchmarks,
+            seed=seed, benchmarks=benchmarks, jobs=jobs,
         ).performance_loss
         loss_hetero = constant_thermal_performance(
             checker_power_w=checker90_operational, window=window,
             thermal=thermal, seed=seed, benchmarks=benchmarks,
-            upper_die_tech_nm=90,
+            upper_die_tech_nm=90, jobs=jobs,
         ).performance_loss
 
     # RMT with the capped checker: leading slowdown + required frequency.
+    # Benchmark-major pairs so both operating points share one trace.
+    ratios = (peak_ratio, 1.0)
+    tasks = [
+        SimTask(
+            kind="rmt", profile=profile, chip=ChipModel.THREE_D_2A,
+            window=window, seed=seed, checker_peak_ratio=ratio,
+        )
+        for profile in benchmarks
+        for ratio in ratios
+    ]
+    results = engine.parallel_map(
+        run_sim_task, tasks, jobs=jobs, chunksize=len(ratios),
+        label="section4_heterogeneous",
+    )
     capped_loss = 0.0
     uncapped_loss = 0.0
     mean_fraction = 0.0
-    for profile in benchmarks:
-        capped = simulate_rmt(
-            profile, ChipModel.THREE_D_2A, window=window, seed=seed,
-            checker_peak_ratio=peak_ratio,
-        )
-        uncapped = simulate_rmt(
-            profile, ChipModel.THREE_D_2A, window=window, seed=seed
-        )
+    for b in range(len(benchmarks)):
+        capped = results[b * 2]
+        uncapped = results[b * 2 + 1]
         capped_loss += capped.leading.ipc
         uncapped_loss += uncapped.leading.ipc
         mean_fraction += uncapped.mean_frequency_fraction
@@ -168,7 +181,7 @@ def section4_heterogeneous(
     mean_fraction /= len(benchmarks)
 
     residency = fig7_frequency_histogram(
-        window=window, seed=seed, benchmarks=benchmarks
+        window=window, seed=seed, benchmarks=benchmarks, jobs=jobs
     ).fractions
     resilience = compare_checker_processes(
         residency, old_nm=90, new_nm=65, peak_ratio_old=peak_ratio

@@ -14,6 +14,7 @@ from pathlib import Path
 
 from repro.common.config import ChipModel
 from repro.common.tables import format_table
+from repro.experiments import engine
 from repro.experiments.coverage import fault_coverage_campaign
 from repro.experiments.frequency import fig7_frequency_histogram
 from repro.experiments.interconnect import (
@@ -110,6 +111,16 @@ def _render_markdown(data: dict) -> str:
             f"wires {name}: inter-core {budget['intercore_length_mm']:.0f} mm, "
             f"power {budget['intercore_power_w'] + budget['l2_power_w']:.1f} W"
         )
+    if data.get("sweep_timings"):
+        sections.append(format_table(
+            "Sweep timings (experiment engine)",
+            ["sweep", "tasks", "jobs", "cpu (s)", "wall (s)", "speedup"],
+            [
+                [t["label"], t["tasks"], t["jobs"], t["cpu_s"], t["wall_s"],
+                 f"{t['speedup']:.2f}x"]
+                for t in data["sweep_timings"]
+            ],
+        ))
     return "\n\n".join(sections) + "\n"
 
 
@@ -125,7 +136,11 @@ def generate_report(
     window = window or SimulationWindow(warmup=3000, measured=10_000)
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
+    engine.clear_timings()
     data = _collect(window, subset)
+    # Per-sweep wall-clock accounting — the observability hook future
+    # BENCH_*.json trajectories consume.
+    data["sweep_timings"] = engine.timing_summary()
     (out / "results.json").write_text(json.dumps(data, indent=2, default=str))
     (out / "results.md").write_text(_render_markdown(data))
     return data

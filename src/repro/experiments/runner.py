@@ -2,26 +2,28 @@
 
 All experiment drivers (one per table/figure of the paper) funnel through
 these helpers so that every result in EXPERIMENTS.md comes from the same
-simulation pipeline.
+simulation pipeline, whether a sweep runs serially or through the
+parallel engine (:mod:`repro.experiments.engine`).  Immutable artifacts —
+the generated trace and the pretrained predictor state — come from the
+process-local cache in :mod:`repro.common.memo`; mutable state (the
+memory hierarchy, queues, DFS controllers) is rebuilt per simulation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
+from repro.common import memo
 from repro.common.config import (
     CheckerCoreConfig,
     ChipModel,
     LeadingCoreConfig,
     NucaConfig,
     NucaPolicy,
-    SystemConfig,
 )
-from repro.core.branch import BranchPredictor
 from repro.core.leading import LeadingCoreTiming, LeadingRunResult
 from repro.core.memory import MemoryHierarchy
 from repro.core.rmt import RmtSimulator, RmtTimingResult
-from repro.isa.trace import TraceGenerator
 from repro.workloads.profiles import WorkloadProfile, get_profile
 
 __all__ = [
@@ -29,6 +31,8 @@ __all__ = [
     "build_memory",
     "simulate_leading",
     "simulate_rmt",
+    "SimTask",
+    "run_sim_task",
     "DEFAULT_WINDOW",
 ]
 
@@ -77,12 +81,14 @@ def _prepare(
     if isinstance(profile, str):
         profile = get_profile(profile)
     leading = leading or LeadingCoreConfig()
+    # The hierarchy is stateful (tags mutate during the run), so it is
+    # rebuilt and re-preloaded for every simulation; the trace and the
+    # pretrained predictor are memoized (the predictor as a clone).
     memory = build_memory(chip, leading, policy)
     memory.preload_profile(profile)
-    generator = TraceGenerator(profile, seed=seed)
-    predictor = BranchPredictor()
-    generator.pretrain_predictor(predictor)
-    trace = generator.generate(window.total)
+    cache = memo.get_cache()
+    predictor = cache.pretrained_predictor(profile, seed)
+    trace = cache.trace(profile, seed, window.total)
     return profile, leading, memory, predictor, trace
 
 
@@ -130,3 +136,50 @@ def simulate_rmt(
         checker_peak_ratio=checker_peak_ratio,
     )
     return simulator.run(trace, warmup=window.warmup)
+
+
+# ---------------------------------------------------------------------
+@dataclass(frozen=True)
+class SimTask:
+    """One simulation of a sweep, as a picklable work item.
+
+    The experiment drivers describe their nested loops as flat lists of
+    these and hand them to the engine; :func:`run_sim_task` executes one
+    in whichever process it lands in.  Every field is hashable/frozen, so
+    tasks cross the process boundary cheaply and deterministically.
+    """
+
+    kind: str                       # "leading" | "rmt"
+    profile: WorkloadProfile
+    chip: ChipModel
+    window: SimulationWindow
+    seed: int = 42
+    policy: NucaPolicy = NucaPolicy.DISTRIBUTED_SETS
+    leading: LeadingCoreConfig | None = None
+    checker: CheckerCoreConfig | None = None
+    checker_peak_ratio: float = 1.0
+
+
+def run_sim_task(task: SimTask) -> LeadingRunResult | RmtTimingResult:
+    """Execute one :class:`SimTask` (the engine's worker function)."""
+    if task.kind == "leading":
+        return simulate_leading(
+            task.profile,
+            task.chip,
+            window=task.window,
+            seed=task.seed,
+            policy=task.policy,
+            leading=task.leading,
+        )
+    if task.kind == "rmt":
+        return simulate_rmt(
+            task.profile,
+            task.chip,
+            window=task.window,
+            seed=task.seed,
+            policy=task.policy,
+            leading=task.leading,
+            checker=task.checker,
+            checker_peak_ratio=task.checker_peak_ratio,
+        )
+    raise ValueError(f"unknown simulation kind {task.kind!r}")

@@ -6,6 +6,10 @@ documents where our calibration sits.  This driver sweeps the calibrated
 parameters — sink resistance, grid resolution, package spreading — and
 reports how the *deltas* move, demonstrating which conclusions are
 robust to the substitution and which are package-sensitive.
+
+Each parameter value is an independent solve, so the sweeps run through
+the parallel engine; within one value the three configurations share the
+memoized factorisation of their stack geometry.
 """
 
 from __future__ import annotations
@@ -13,9 +17,10 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+from repro.common import memo
 from repro.common.config import ChipModel, ThermalConfig
+from repro.experiments import engine
 from repro.experiments.thermal import standard_floorplan
-from repro.thermal.hotspot import ChipThermalModel
 
 __all__ = ["SensitivityRow", "sink_resistance_sweep", "grid_resolution_sweep"]
 
@@ -32,20 +37,22 @@ class SensitivityRow:
 
 
 def _deltas(thermal: ThermalConfig) -> tuple[float, float, float]:
-    base = ChipThermalModel(
+    cache = memo.get_cache()
+    base = cache.solve_floorplan(
         standard_floorplan(ChipModel.TWO_D_A), thermal
-    ).solve().peak_c
-    d7 = ChipThermalModel(
+    ).peak_c
+    d7 = cache.solve_floorplan(
         standard_floorplan(ChipModel.THREE_D_2A, checker_power_w=7.0), thermal
-    ).solve().peak_c - base
-    d15 = ChipThermalModel(
+    ).peak_c - base
+    d15 = cache.solve_floorplan(
         standard_floorplan(ChipModel.THREE_D_2A, checker_power_w=15.0), thermal
-    ).solve().peak_c - base
+    ).peak_c - base
     return base, d7, d15
 
 
 def sink_resistance_sweep(
     values: tuple[float, ...] = (0.75, 1.5, 3.0, 6.0),
+    jobs: int | None = None,
 ) -> list[SensitivityRow]:
     """The one calibrated parameter: convective sink resistance.
 
@@ -53,25 +60,34 @@ def sink_resistance_sweep(
     they are conduction-dominated, which is why calibrating once against
     2d-a is sound.
     """
-    rows = []
-    for value in values:
-        thermal = dataclasses.replace(
+    configs = [
+        dataclasses.replace(
             ThermalConfig(), heatsink_resistance_k_per_w_mm2=value
         )
-        base, d7, d15 = _deltas(thermal)
-        rows.append(SensitivityRow("sink_r_k_mm2_per_w", value, base, d7, d15))
-    return rows
+        for value in values
+    ]
+    results = engine.parallel_map(
+        _deltas, configs, jobs=jobs, chunksize=1, label="sink_resistance_sweep"
+    )
+    return [
+        SensitivityRow("sink_r_k_mm2_per_w", value, base, d7, d15)
+        for value, (base, d7, d15) in zip(values, results)
+    ]
 
 
 def grid_resolution_sweep(
     values: tuple[int, ...] = (25, 50, 75),
+    jobs: int | None = None,
 ) -> list[SensitivityRow]:
     """Discretisation check: the 50x50 grid (Table 3) is converged."""
-    rows = []
-    for value in values:
-        thermal = dataclasses.replace(
-            ThermalConfig(), grid_rows=value, grid_cols=value
-        )
-        base, d7, d15 = _deltas(thermal)
-        rows.append(SensitivityRow("grid_resolution", value, base, d7, d15))
-    return rows
+    configs = [
+        dataclasses.replace(ThermalConfig(), grid_rows=value, grid_cols=value)
+        for value in values
+    ]
+    results = engine.parallel_map(
+        _deltas, configs, jobs=jobs, chunksize=1, label="grid_resolution_sweep"
+    )
+    return [
+        SensitivityRow("grid_resolution", value, base, d7, d15)
+        for value, (base, d7, d15) in zip(values, results)
+    ]

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.cache.nuca import NucaCache, bank_hops_for_model
 from repro.common.config import ChipModel, NucaConfig
+from repro.experiments import engine
 from repro.isa.trace import TraceGenerator
 from repro.workloads.profiles import WorkloadProfile, get_profile
 
@@ -59,11 +60,53 @@ def _preload_thread(cache: NucaCache, profile: WorkloadProfile, thread: int) -> 
             cache.access(base + address)
 
 
+def _pressure_point(
+    task: tuple[ChipModel, int, tuple[str, ...], int, int],
+) -> SharedCacheResult:
+    """One (chip, thread-count) cell of the pressure matrix."""
+    chip, num_threads, benchmarks, instructions_per_thread, seed = task
+    cache = NucaCache(
+        NucaConfig(num_banks=chip.l2_banks),
+        bank_hops=bank_hops_for_model(chip),
+    )
+    profiles = [
+        get_profile(benchmarks[t % len(benchmarks)])
+        for t in range(num_threads)
+    ]
+    for t, profile in enumerate(profiles):
+        _preload_thread(cache, profile, t)
+    cache.stats.reset()
+    streams = [
+        _memory_stream(profile, instructions_per_thread, seed, t)
+        for t, profile in enumerate(profiles)
+    ]
+    accesses = 0
+    # Round-robin interleave the threads' memory accesses.
+    active = list(streams)
+    while active:
+        still = []
+        for stream in active:
+            address = next(stream, None)
+            if address is None:
+                continue
+            cache.access(address)
+            accesses += 1
+            still.append(stream)
+        active = still
+    return SharedCacheResult(
+        chip=chip.value,
+        num_threads=num_threads,
+        accesses=accesses,
+        misses=cache.misses,
+    )
+
+
 def shared_cache_pressure(
     benchmarks: tuple[str, ...] = ("gzip", "bzip2", "vortex", "gap"),
     instructions_per_thread: int = 40_000,
     seed: int = 42,
     chips: tuple[ChipModel, ...] = (ChipModel.TWO_D_A, ChipModel.TWO_D_2A),
+    jobs: int | None = None,
 ) -> dict[str, list[SharedCacheResult]]:
     """Miss rates of 1..N co-running threads on each L2 capacity.
 
@@ -75,45 +118,17 @@ def shared_cache_pressure(
     cache's miss rate rises much faster than the 15 MB one's — the Hsu et
     al. effect the paper cites.
     """
+    thread_counts = range(1, len(benchmarks) + 1)
+    tasks = [
+        (chip, num_threads, tuple(benchmarks), instructions_per_thread, seed)
+        for chip in chips
+        for num_threads in thread_counts
+    ]
+    results = engine.parallel_map(
+        _pressure_point, tasks, jobs=jobs, chunksize=1,
+        label="shared_cache_pressure",
+    )
     out: dict[str, list[SharedCacheResult]] = {}
-    for chip in chips:
-        rows = []
-        for num_threads in range(1, len(benchmarks) + 1):
-            cache = NucaCache(
-                NucaConfig(num_banks=chip.l2_banks),
-                bank_hops=bank_hops_for_model(chip),
-            )
-            profiles = [
-                get_profile(benchmarks[t % len(benchmarks)])
-                for t in range(num_threads)
-            ]
-            for t, profile in enumerate(profiles):
-                _preload_thread(cache, profile, t)
-            cache.stats.reset()
-            streams = [
-                _memory_stream(profile, instructions_per_thread, seed, t)
-                for t, profile in enumerate(profiles)
-            ]
-            accesses = 0
-            # Round-robin interleave the threads' memory accesses.
-            active = list(streams)
-            while active:
-                still = []
-                for stream in active:
-                    address = next(stream, None)
-                    if address is None:
-                        continue
-                    cache.access(address)
-                    accesses += 1
-                    still.append(stream)
-                active = still
-            rows.append(
-                SharedCacheResult(
-                    chip=chip.value,
-                    num_threads=num_threads,
-                    accesses=accesses,
-                    misses=cache.misses,
-                )
-            )
-        out[chip.value] = rows
+    for (chip, _n, *_rest), row in zip(tasks, results):
+        out.setdefault(chip.value, []).append(row)
     return out

@@ -2,14 +2,20 @@
 
 Each driver builds powered floorplans (wire power computed from the
 model's own interconnect budget), solves the HotSpot-style grid, and
-returns rows shaped like the paper's figures.
+returns rows shaped like the paper's figures.  Thermal models come from
+the process-local artifact cache (:mod:`repro.common.memo`), so the LU
+factorisation of each stack geometry happens once per process however
+many power points are swept over it; the sweeps themselves run through
+:mod:`repro.experiments.engine`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.common.config import ChipModel, LeadingCoreConfig, ThermalConfig
+from repro.common import memo
+from repro.common.config import ChipModel, ThermalConfig
+from repro.experiments import engine
 from repro.experiments.runner import (
     DEFAULT_WINDOW,
     SimulationWindow,
@@ -19,7 +25,6 @@ from repro.floorplan.blocks import L2_BANK_STATIC_W
 from repro.floorplan.layouts import CheckerPlacement, Floorplan, build_floorplan
 from repro.interconnect.wires import wire_budget
 from repro.power.wattch import CorePowerModel, l2_bank_power_w
-from repro.thermal.hotspot import ChipThermalModel
 from repro.workloads.profiles import WorkloadProfile, spec2k_suite
 
 __all__ = [
@@ -89,27 +94,40 @@ class Fig4Row:
         return self.temp_3d_2a_c - self.temp_2d_2a_c
 
 
+def _fig4_point(task: tuple[float, ThermalConfig]) -> tuple[float, float]:
+    """(3d-2a peak, 2d-2a peak) at one checker power."""
+    power, thermal = task
+    cache = memo.get_cache()
+    t3d = cache.solve_floorplan(
+        standard_floorplan(ChipModel.THREE_D_2A, checker_power_w=power), thermal
+    ).peak_c
+    t2d = cache.solve_floorplan(
+        standard_floorplan(ChipModel.TWO_D_2A, checker_power_w=power), thermal
+    ).peak_c
+    return t3d, t2d
+
+
 def fig4_thermal_sweep(
     checker_powers_w: tuple[float, ...] = (2, 5, 7, 10, 15, 20, 25),
     thermal: ThermalConfig | None = None,
+    jobs: int | None = None,
 ) -> list[Fig4Row]:
     """Peak temperature vs checker power for 2d-2a and 3d-2a (Figure 4)."""
     thermal = thermal or ThermalConfig()
-    base = ChipThermalModel(
+    base = memo.get_cache().solve_floorplan(
         standard_floorplan(ChipModel.TWO_D_A), thermal
-    ).solve().peak_c
-    rows = []
-    for power in checker_powers_w:
-        t3d = ChipThermalModel(
-            standard_floorplan(ChipModel.THREE_D_2A, checker_power_w=power),
-            thermal,
-        ).solve().peak_c
-        t2d = ChipThermalModel(
-            standard_floorplan(ChipModel.TWO_D_2A, checker_power_w=power),
-            thermal,
-        ).solve().peak_c
-        rows.append(Fig4Row(power, t2d, t3d, base))
-    return rows
+    ).peak_c
+    points = engine.parallel_map(
+        _fig4_point,
+        [(power, thermal) for power in checker_powers_w],
+        jobs=jobs,
+        chunksize=2,
+        label="fig4_thermal_sweep",
+    )
+    return [
+        Fig4Row(power, t2d, t3d, base)
+        for power, (t3d, t2d) in zip(checker_powers_w, points)
+    ]
 
 
 # ---------------------------------------------------------------------
@@ -123,6 +141,16 @@ class Fig5Row:
     temp_3d_2a_7w: float
     temp_2d_2a_15w: float
     temp_3d_2a_15w: float
+
+
+# The five Figure 5 configurations: label -> (chip model, checker power).
+_FIG5_CONFIGS: dict[str, tuple[ChipModel, float]] = {
+    "2d_a": (ChipModel.TWO_D_A, 0.0),
+    "2d_2a_7W": (ChipModel.TWO_D_2A, 7.0),
+    "3d_2a_7W": (ChipModel.THREE_D_2A, 7.0),
+    "2d_2a_15W": (ChipModel.TWO_D_2A, 15.0),
+    "3d_2a_15W": (ChipModel.THREE_D_2A, 15.0),
+}
 
 
 def _benchmark_powers(
@@ -144,11 +172,41 @@ def _benchmark_powers(
     return breakdown.total_w, breakdown.per_unit_w, [bank_power] * chip.l2_banks
 
 
+def _fig5_row(
+    task: tuple[WorkloadProfile, SimulationWindow, int, ThermalConfig],
+) -> Fig5Row:
+    """One benchmark's Figure 5 temperatures (runs in a worker)."""
+    profile, window, seed, thermal = task
+    cache = memo.get_cache()
+    temps: dict[str, float] = {}
+    cached_powers: dict[ChipModel, tuple] = {}
+    for name, (chip, power) in _FIG5_CONFIGS.items():
+        if chip not in cached_powers:
+            cached_powers[chip] = _benchmark_powers(profile, chip, window, seed)
+        _total_core, per_unit, banks = cached_powers[chip]
+        overrides = dict(per_unit)
+        for i, bank_power in enumerate(banks):
+            overrides[f"bank{i}"] = bank_power
+        plan = standard_floorplan(chip, checker_power_w=power)
+        temps[name] = cache.solve_floorplan(
+            plan, thermal, overrides=overrides
+        ).peak_c
+    return Fig5Row(
+        benchmark=profile.name,
+        temp_2d_a=temps["2d_a"],
+        temp_2d_2a_7w=temps["2d_2a_7W"],
+        temp_3d_2a_7w=temps["3d_2a_7W"],
+        temp_2d_2a_15w=temps["2d_2a_15W"],
+        temp_3d_2a_15w=temps["3d_2a_15W"],
+    )
+
+
 def fig5_per_benchmark(
     window: SimulationWindow = DEFAULT_WINDOW,
     thermal: ThermalConfig | None = None,
     seed: int = 42,
     benchmarks: list[WorkloadProfile] | None = None,
+    jobs: int | None = None,
 ) -> list[Fig5Row]:
     """Per-benchmark peak temperature for the five configurations (Fig 5).
 
@@ -158,46 +216,13 @@ def fig5_per_benchmark(
     """
     thermal = thermal or ThermalConfig()
     benchmarks = benchmarks if benchmarks is not None else spec2k_suite()
-
-    configs: dict[str, tuple[ChipModel, float]] = {
-        "2d_a": (ChipModel.TWO_D_A, 0.0),
-        "2d_2a_7W": (ChipModel.TWO_D_2A, 7.0),
-        "3d_2a_7W": (ChipModel.THREE_D_2A, 7.0),
-        "2d_2a_15W": (ChipModel.TWO_D_2A, 15.0),
-        "3d_2a_15W": (ChipModel.THREE_D_2A, 15.0),
-    }
-    models = {
-        name: ChipThermalModel(
-            standard_floorplan(chip, checker_power_w=power), thermal
-        )
-        for name, (chip, power) in configs.items()
-    }
-
-    rows = []
-    for profile in benchmarks:
-        temps: dict[str, float] = {}
-        cached_powers: dict[ChipModel, tuple] = {}
-        for name, (chip, _power) in configs.items():
-            if chip not in cached_powers:
-                cached_powers[chip] = _benchmark_powers(
-                    profile, chip, window, seed
-                )
-            total_core, per_unit, banks = cached_powers[chip]
-            overrides = dict(per_unit)
-            for i, bank_power in enumerate(banks):
-                overrides[f"bank{i}"] = bank_power
-            temps[name] = models[name].solve(overrides).peak_c
-        rows.append(
-            Fig5Row(
-                benchmark=profile.name,
-                temp_2d_a=temps["2d_a"],
-                temp_2d_2a_7w=temps["2d_2a_7W"],
-                temp_3d_2a_7w=temps["3d_2a_7W"],
-                temp_2d_2a_15w=temps["2d_2a_15W"],
-                temp_3d_2a_15w=temps["3d_2a_15W"],
-            )
-        )
-    return rows
+    return engine.parallel_map(
+        _fig5_row,
+        [(profile, window, seed, thermal) for profile in benchmarks],
+        jobs=jobs,
+        chunksize=1,
+        label="fig5_per_benchmark",
+    )
 
 
 # ---------------------------------------------------------------------
@@ -212,34 +237,35 @@ def thermal_variants(
     and ``double_density`` (checker area halved at constant power).
     """
     thermal = thermal or ThermalConfig()
-    reference = ChipThermalModel(
+    cache = memo.get_cache()
+    reference = cache.solve_floorplan(
         standard_floorplan(ChipModel.THREE_D_2A, checker_power_w=checker_power_w),
         thermal,
-    ).solve().peak_c
-    inactive = ChipThermalModel(
+    ).peak_c
+    inactive = cache.solve_floorplan(
         standard_floorplan(
             ChipModel.THREE_D_2A,
             checker_power_w=checker_power_w,
             upper_die_cache=False,
         ),
         thermal,
-    ).solve().peak_c
-    corner = ChipThermalModel(
+    ).peak_c
+    corner = cache.solve_floorplan(
         standard_floorplan(
             ChipModel.THREE_D_2A,
             checker_power_w=checker_power_w,
             checker_placement=CheckerPlacement.CORNER,
         ),
         thermal,
-    ).solve().peak_c
-    doubled = ChipThermalModel(
+    ).peak_c
+    doubled = cache.solve_floorplan(
         standard_floorplan(
             ChipModel.THREE_D_2A,
             checker_power_w=checker_power_w,
             checker_area_scale=0.5,
         ),
         thermal,
-    ).solve().peak_c
+    ).peak_c
     return {
         "inactive_top": inactive - reference,
         "corner": corner - reference,

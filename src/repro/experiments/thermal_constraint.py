@@ -13,14 +13,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common import memo
 from repro.common.config import ChipModel, LeadingCoreConfig, ThermalConfig
+from repro.experiments import engine
 from repro.experiments.runner import (
     DEFAULT_WINDOW,
+    SimTask,
     SimulationWindow,
-    simulate_leading,
+    run_sim_task,
 )
 from repro.experiments.thermal import standard_floorplan
-from repro.thermal.hotspot import ChipThermalModel
 from repro.workloads.profiles import WorkloadProfile, spec2k_suite
 
 __all__ = [
@@ -46,13 +48,14 @@ def thermally_equivalent_frequency(
     Paper: 1.9 GHz (0.95) for a 7 W checker, 1.8 GHz (0.90) for 15 W.
     """
     thermal = thermal or ThermalConfig()
-    target = ChipThermalModel(
+    cache = memo.get_cache()
+    target = cache.solve_floorplan(
         standard_floorplan(ChipModel.TWO_D_A), thermal
-    ).solve().peak_c
+    ).peak_c
     plan = standard_floorplan(
         chip, checker_power_w=checker_power_w, upper_die_tech_nm=upper_die_tech_nm
     )
-    model = ChipThermalModel(plan, thermal)
+    model = cache.thermal_model(plan, thermal)
 
     def peak_at(ratio: float) -> float:
         scaled = plan.scaled_power(ratio**_POWER_FREQUENCY_EXPONENT)
@@ -98,6 +101,7 @@ def constant_thermal_performance(
     benchmarks: list[WorkloadProfile] | None = None,
     chip: ChipModel = ChipModel.THREE_D_2A,
     upper_die_tech_nm: int = 65,
+    jobs: int | None = None,
 ) -> ThermalConstraintResult:
     """Find the thermally-matched frequency and its performance cost.
 
@@ -114,17 +118,25 @@ def constant_thermal_performance(
         frequency_hz=base_cfg.frequency_hz * ratio,
         memory_latency_cycles=max(1, round(base_cfg.memory_latency_cycles * ratio)),
     )
+    configs = (base_cfg, scaled_cfg)
+    # Benchmark-major: both frequency points share one memoized trace.
+    tasks = [
+        SimTask(
+            kind="leading", profile=profile, chip=chip, window=window,
+            seed=seed, leading=cfg,
+        )
+        for profile in benchmarks
+        for cfg in configs
+    ]
+    results = engine.parallel_map(
+        run_sim_task, tasks, jobs=jobs, chunksize=len(configs),
+        label="constant_thermal_performance",
+    )
     perf_full = 0.0
     perf_scaled = 0.0
-    for profile in benchmarks:
-        full = simulate_leading(
-            profile, chip, window=window, seed=seed, leading=base_cfg
-        )
-        scaled = simulate_leading(
-            profile, chip, window=window, seed=seed, leading=scaled_cfg
-        )
-        perf_full += full.ipc * 1.0
-        perf_scaled += scaled.ipc * ratio
+    for b in range(len(benchmarks)):
+        perf_full += results[b * 2].ipc * 1.0
+        perf_scaled += results[b * 2 + 1].ipc * ratio
     loss = 1.0 - perf_scaled / perf_full
     return ThermalConstraintResult(
         checker_power_w=checker_power_w,

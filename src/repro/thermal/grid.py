@@ -41,6 +41,14 @@ class GridThermalModel:
             raise ThermalModelError("stack needs at least one layer")
         if rows < 2 or cols < 2:
             raise ThermalModelError("grid must be at least 2x2")
+        names = [layer.name for layer in layers]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            # layer_index / solve address layers by name; a duplicate would
+            # silently route power to the first match only.
+            raise ThermalModelError(
+                f"duplicate layer names in stack: {sorted(duplicates)}"
+            )
         self.layers = list(layers)
         self.rows = rows
         self.cols = cols

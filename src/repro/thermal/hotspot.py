@@ -44,14 +44,23 @@ class ChipThermalModel:
     geometry), which is how the checker-power sweep of Figure 4 runs.
     """
 
-    def __init__(self, floorplan: Floorplan, config: ThermalConfig | None = None):
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        config: ThermalConfig | None = None,
+        grid_factory=None,
+    ):
         self.config = config or ThermalConfig()
         self.floorplan = floorplan
         cfg = self.config
         layers = (
             stack_for_3d(cfg) if floorplan.num_dies == 2 else stack_for_2d(cfg)
         )
-        self.grid = GridThermalModel(
+        # ``grid_factory`` lets a cache (repro.common.memo) share one
+        # LU-factorised grid between floorplans with identical stacks.
+        if grid_factory is None:
+            grid_factory = GridThermalModel
+        self.grid = grid_factory(
             layers=layers,
             width_m=floorplan.die_width_mm * 1e-3,
             height_m=floorplan.die_height_mm * 1e-3,

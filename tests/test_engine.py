@@ -1,0 +1,117 @@
+"""The parallel experiment engine: worker policy, ordering, determinism."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.experiments import engine
+from repro.experiments.engine import (
+    JOBS_ENV_VAR,
+    SweepTiming,
+    parallel_map,
+    resolve_jobs,
+    run_sweep,
+)
+from repro.experiments.perf import fig6_performance
+from repro.experiments.runner import SimulationWindow
+from repro.workloads.profiles import get_profile
+
+TINY = SimulationWindow(warmup=2000, measured=6000)
+
+
+def _square(x: int) -> int:
+    # Module-level so it pickles into pool workers.
+    return x * x
+
+
+@pytest.fixture(autouse=True)
+def _clean_timings():
+    engine.clear_timings()
+    yield
+    engine.clear_timings()
+
+
+class TestResolveJobs:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "8")
+        assert resolve_jobs(3) == 3
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "5")
+        assert resolve_jobs() == 5
+
+    def test_default_is_at_least_one(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs() >= 1
+
+    def test_invalid_env_var_rejected(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "lots")
+        with pytest.raises(ConfigError):
+            resolve_jobs()
+
+    def test_nonpositive_rejected(self, monkeypatch):
+        with pytest.raises(ConfigError):
+            resolve_jobs(0)
+        monkeypatch.setenv(JOBS_ENV_VAR, "-2")
+        with pytest.raises(ConfigError):
+            resolve_jobs()
+
+
+class TestRunSweep:
+    def test_serial_preserves_order(self):
+        results, timing = run_sweep(_square, range(20), jobs=1)
+        assert results == [x * x for x in range(20)]
+        assert timing.jobs == 1
+
+    def test_parallel_preserves_order(self):
+        results = parallel_map(_square, range(20), jobs=2, chunksize=3)
+        assert results == [x * x for x in range(20)]
+
+    def test_env_var_serial_fallback(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "1")
+        _results, timing = run_sweep(_square, range(4))
+        assert timing.jobs == 1
+
+    def test_jobs_capped_by_task_count(self):
+        _results, timing = run_sweep(_square, [1, 2], jobs=16)
+        assert timing.jobs == 2
+
+    def test_empty_sweep(self):
+        results, timing = run_sweep(_square, [], jobs=4)
+        assert results == []
+        assert timing.tasks == 0
+
+    def test_timing_recorded(self):
+        parallel_map(_square, range(6), jobs=1, label="squares")
+        recorded = engine.timings()
+        assert [t.label for t in recorded] == ["squares"]
+        assert recorded[0].tasks == 6
+        assert recorded[0].wall_s > 0
+        assert recorded[0].cpu_s > 0
+        summary = engine.timing_summary()
+        assert summary[0]["label"] == "squares"
+        assert "squares" in engine.format_timing_summary()
+
+    def test_record_opt_out(self):
+        run_sweep(_square, range(3), jobs=1, record=False)
+        assert engine.timings() == []
+
+    def test_speedup_property(self):
+        timing = SweepTiming(
+            label="x", jobs=2, task_wall_s=[1.0, 1.0], wall_s=1.0
+        )
+        assert timing.speedup == pytest.approx(2.0)
+        assert dataclasses.replace(timing, wall_s=0.0).speedup == 1.0
+
+
+class TestDeterminism:
+    """The acceptance criterion: parallel sweeps are bit-identical to serial."""
+
+    def test_fig6_parallel_matches_serial(self):
+        benchmarks = [get_profile(n) for n in ("gzip", "mcf", "mesa")]
+        serial = fig6_performance(window=TINY, benchmarks=benchmarks, jobs=1)
+        parallel = fig6_performance(window=TINY, benchmarks=benchmarks, jobs=2)
+        assert [dataclasses.asdict(r) for r in serial] == [
+            dataclasses.asdict(r) for r in parallel
+        ]

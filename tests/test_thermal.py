@@ -88,6 +88,19 @@ class TestGridSolver:
         with pytest.raises(KeyError):
             model.solve({"nope": np.ones((10, 10))})
 
+    def test_duplicate_layer_names_rejected(self):
+        layers = [
+            Layer("base", 1e-3, 1.0 / 400.0),
+            Layer("active", 1e-6, 0.01, has_power=True),
+            Layer("active", 1e-6, 0.01, has_power=True),
+        ]
+        with pytest.raises(ThermalModelError, match="duplicate layer names"):
+            GridThermalModel(
+                layers=layers, width_m=5e-3, height_m=5e-3, rows=4, cols=4,
+                sink_r_k_mm2_per_w=10.0, secondary_r_k_mm2_per_w=1e5,
+                ambient_c=47.0,
+            )
+
 
 class TestStacks:
     def test_2d_stack_has_one_power_layer(self):

@@ -22,6 +22,7 @@ from __future__ import annotations
 from repro.common.config import ChipModel, NucaConfig, NucaPolicy
 from repro.common.errors import ConfigError
 from repro.common.stats import StatGroup
+from repro.obs.metrics import get_registry
 
 __all__ = ["NucaCache", "bank_hops_for_model", "AccessResult"]
 
@@ -256,6 +257,19 @@ class NucaCache:
     def bank_access_counts(self) -> list[int]:
         """Per-bank access counts (for the power model)."""
         return [c.value for c in self._bank_accesses]
+
+    def publish_metrics(self) -> None:
+        """Add this cache's lifetime totals to the metrics registry.
+
+        Tagged by placement policy so the two NUCA organizations stay
+        distinguishable in a merged snapshot.  Called once per
+        simulation (the access path itself stays uninstrumented).
+        """
+        m = get_registry()
+        policy = self.config.policy.value
+        m.counter(f"nuca.{policy}.hits").inc(self._hits.value)
+        m.counter(f"nuca.{policy}.misses").inc(self._misses.value)
+        m.counter(f"nuca.{policy}.bank_conflicts").inc(self._conflicts.value)
 
     def misses_per_10k(self, instructions: int) -> float:
         """L2 misses per 10k committed instructions (Section 3.3 metric)."""

@@ -20,6 +20,7 @@ import sys
 
 from repro.common.config import ChipModel
 from repro.common.tables import print_table
+from repro.experiments import engine
 from repro.experiments import (
     SimulationWindow,
     constant_thermal_performance,
@@ -39,9 +40,15 @@ from repro.experiments import (
     table8_power_ratios,
     via_summary,
 )
+from repro.obs import events, log
 from repro.workloads.profiles import get_profile, spec2k_suite
 
 _CHIP_BY_NAME = {c.value: c for c in ChipModel}
+
+
+def _say(*parts) -> None:
+    """Emit one user-facing line through the ``repro.cli`` logger."""
+    log.get_logger("cli").info(" ".join(str(p) for p in parts))
 
 
 def _window(args) -> SimulationWindow:
@@ -50,7 +57,7 @@ def _window(args) -> SimulationWindow:
 
 
 def _cmd_list(_args) -> None:
-    print("experiments:")
+    _say("experiments:")
     for name, what in [
         ("simulate", "RMT co-simulation of one benchmark on one chip model"),
         ("fig4", "peak temperature vs checker power"),
@@ -69,8 +76,8 @@ def _cmd_list(_args) -> None:
         ("constraint", "constant-thermal-constraint frequency and loss"),
         ("hetero", "the 90 nm checker die analysis (slow)"),
     ]:
-        print(f"  {name:10s} {what}")
-    print("\nbenchmarks:", " ".join(p.name for p in spec2k_suite()))
+        _say(f"  {name:10s} {what}")
+    _say("\nbenchmarks:", " ".join(p.name for p in spec2k_suite()))
 
 
 def _cmd_simulate(args) -> None:
@@ -78,14 +85,14 @@ def _cmd_simulate(args) -> None:
     profile = get_profile(args.benchmark)
     result = simulate_rmt(profile, chip, window=_window(args), seed=args.seed)
     lead = result.leading
-    print(f"{profile.name} on {chip.value}:")
-    print(f"  leading IPC           : {lead.ipc:.3f}")
-    print(f"  branch mispredicts    : {lead.branch_mispredict_rate:.1%}")
-    print(f"  L2 misses / 10k       : {lead.l2_misses_per_10k:.2f}")
-    print(f"  avg L2 hit latency    : {lead.average_l2_hit_latency:.1f} cycles")
-    print(f"  checker mean frequency: {result.mean_frequency_fraction:.2f}x peak")
-    print(f"  checker modal level   : {result.modal_frequency_fraction:.1f}x")
-    print(f"  backpressure commits  : {result.backpressure_commits}")
+    _say(f"{profile.name} on {chip.value}:")
+    _say(f"  leading IPC           : {lead.ipc:.3f}")
+    _say(f"  branch mispredicts    : {lead.branch_mispredict_rate:.1%}")
+    _say(f"  L2 misses / 10k       : {lead.l2_misses_per_10k:.2f}")
+    _say(f"  avg L2 hit latency    : {lead.average_l2_hit_latency:.1f} cycles")
+    _say(f"  checker mean frequency: {result.mean_frequency_fraction:.2f}x peak")
+    _say(f"  checker modal level   : {result.modal_frequency_fraction:.1f}x")
+    _say(f"  backpressure commits  : {result.backpressure_commits}")
 
 
 def _cmd_fig4(_args) -> None:
@@ -102,7 +109,14 @@ def _cmd_fig4(_args) -> None:
 
 
 def _cmd_fig6(args) -> None:
-    rows = fig6_performance(window=_window(args))
+    benchmarks = None
+    if args.benchmarks:
+        benchmarks = [
+            get_profile(name.strip())
+            for name in args.benchmarks.split(",")
+            if name.strip()
+        ]
+    rows = fig6_performance(window=_window(args), benchmarks=benchmarks)
     print_table(
         "Figure 6: IPC per benchmark",
         ["benchmark", "2d-a", "2d-2a", "3d-2a", "3d-checker"],
@@ -122,7 +136,7 @@ def _cmd_fig7(args) -> None:
         ["normalized f", "% of intervals"],
         [[f"{lvl:.1f}", f"{frac:.1%}"] for lvl, frac in result.fractions.items()],
     )
-    print(f"mode {result.mode:.1f}, mean {result.mean:.2f} "
+    _say(f"mode {result.mode:.1f}, mean {result.mean:.2f} "
           f"({result.mean_frequency_hz() / 1e9:.2f} GHz)")
 
 
@@ -151,7 +165,7 @@ def _cmd_table4(_args) -> None:
         ["data", "width (bits)", "placement"],
         [[r.data, r.width_bits, r.placement] for r in rows],
     )
-    print(f"total: {sum(r.width_bits for r in rows)} vias")
+    _say(f"total: {sum(r.width_bits for r in rows)} vias")
 
 
 def _cmd_table5(_args) -> None:
@@ -206,10 +220,10 @@ def _cmd_table8(_args) -> None:
 
 def _cmd_vias(_args) -> None:
     summary = via_summary()
-    print(f"vias: {summary.num_vias}")
-    print(f"per-via power: {summary.per_via_power_mw:.4f} mW")
-    print(f"total power  : {summary.total_power_mw:.2f} mW")
-    print(f"total area   : {summary.total_area_mm2:.3f} mm2")
+    _say(f"vias: {summary.num_vias}")
+    _say(f"per-via power: {summary.per_via_power_mw:.4f} mW")
+    _say(f"total power  : {summary.total_power_mw:.2f} mW")
+    _say(f"total area   : {summary.total_area_mm2:.3f} mm2")
 
 
 def _cmd_wires(_args) -> None:
@@ -228,13 +242,13 @@ def _cmd_wires(_args) -> None:
 
 def _cmd_coverage(args) -> None:
     result = fault_coverage_campaign(seed=args.seed)
-    print(f"instructions : {result.instructions}")
-    print(f"faults       : {result.faults_injected}")
-    print(f"detected     : {result.mismatches_detected}")
-    print(f"recovered    : {result.recoveries}")
-    print(f"ECC corrected: {result.ecc_corrections}")
-    print(f"ECC detected : {result.ecc_uncorrectable}")
-    print(f"arch. safe   : {result.architecturally_safe}")
+    _say(f"instructions : {result.instructions}")
+    _say(f"faults       : {result.faults_injected}")
+    _say(f"detected     : {result.mismatches_detected}")
+    _say(f"recovered    : {result.recoveries}")
+    _say(f"ECC corrected: {result.ecc_corrections}")
+    _say(f"ECC detected : {result.ecc_uncorrectable}")
+    _say(f"arch. safe   : {result.architecturally_safe}")
 
 
 def _cmd_constraint(args) -> None:
@@ -242,7 +256,7 @@ def _cmd_constraint(args) -> None:
         result = constant_thermal_performance(
             checker_power_w=power, window=_window(args)
         )
-        print(
+        _say(
             f"{power:4.0f} W checker: {result.frequency_ghz:.2f} GHz, "
             f"{result.performance_loss:.1%} performance loss"
         )
@@ -257,13 +271,13 @@ def _cmd_thermalmap(args) -> None:
     plan = standard_floorplan(chip, checker_power_w=7.0)
     solved = ChipThermalModel(plan).solve()
     for die in range(plan.num_dies):
-        print(f"--- die {die + 1} floorplan ---")
-        print(floorplan_map(plan, die=die, width=58, height=14))
+        _say(f"--- die {die + 1} floorplan ---")
+        _say(floorplan_map(plan, die=die, width=58, height=14))
         layer = "active_1" if die == 0 else "active_2"
         grid = solved.layer_grids[layer]
-        print(f"--- die {die + 1} temperature ({grid.max():.1f} C peak) ---")
-        print(heatmap(grid[::-1], width=58, height=14))
-    print(f"chip peak: {solved.peak_c:.1f} C at {solved.hottest_block()}")
+        _say(f"--- die {die + 1} temperature ({grid.max():.1f} C peak) ---")
+        _say(heatmap(grid[::-1], width=58, height=14))
+    _say(f"chip peak: {solved.peak_c:.1f} C at {solved.hottest_block()}")
 
 
 def _cmd_presets(_args) -> None:
@@ -271,26 +285,26 @@ def _cmd_presets(_args) -> None:
 
     for name in preset_names():
         point = load_preset(name)
-        print(f"{name:12s} {point.description}")
+        _say(f"{name:12s} {point.description}")
 
 
 def _cmd_report(args) -> None:
     from repro.experiments.report import generate_report
 
     generate_report(args.out, window=_window(args))
-    print(f"wrote {args.out}/results.json and {args.out}/results.md")
+    _say(f"wrote {args.out}/results.json and {args.out}/results.md")
 
 
 def _cmd_hetero(args) -> None:
     result = section4_heterogeneous(window=_window(args))
-    print(f"checker power : {result.checker_power_65nm_w:.1f} W (65nm) -> "
+    _say(f"checker power : {result.checker_power_65nm_w:.1f} W (65nm) -> "
           f"{result.checker_power_90nm_w:.1f} W (90nm)")
-    print(f"upper cache   : 9 banks -> {result.upper_cache_banks_90nm} banks")
-    print(f"die delta     : {result.checker_die_delta_w:+.1f} W")
-    print(f"peak temps    : {result.peak_temp_homogeneous_c:.1f} C -> "
+    _say(f"upper cache   : 9 banks -> {result.upper_cache_banks_90nm} banks")
+    _say(f"die delta     : {result.checker_die_delta_w:+.1f} W")
+    _say(f"peak temps    : {result.peak_temp_homogeneous_c:.1f} C -> "
           f"{result.peak_temp_hetero_c:.1f} C")
-    print(f"peak clock    : {2 * result.peak_frequency_ratio:.1f} GHz")
-    print(f"leader slowdown: {result.leading_slowdown:.1%}")
+    _say(f"peak clock    : {2 * result.peak_frequency_ratio:.1f} GHz")
+    _say(f"leader slowdown: {result.leading_slowdown:.1%}")
 
 
 _COMMANDS = {
@@ -335,17 +349,57 @@ def build_parser() -> argparse.ArgumentParser:
             )
         if name == "report":
             p.add_argument("--out", default="results")
+        if name == "fig6":
+            p.add_argument(
+                "--benchmarks", default=None,
+                help="comma-separated benchmark subset (default: full suite)",
+            )
         p.add_argument("--window", type=int, default=20_000,
                        help="measured instructions per simulation")
         p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for sweeps (default: "
+                            "REPRO_JOBS or cpu count)")
+        p.add_argument("--metrics", nargs="?", const="run_manifest.json",
+                       default=None, metavar="PATH",
+                       help="write a run manifest (metrics + sweep "
+                            "accounting) to PATH after the command")
+        p.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="append JSONL events (run/sweep/manifest) to PATH")
+        p.add_argument("-v", "--verbose", action="count", default=0,
+                       help="more output (DEBUG-level logging)")
+        p.add_argument("-q", "--quiet", action="count", default=0,
+                       help="less output (warnings only)")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    _COMMANDS[args.command](args)
-    return 0
+    log.configure(verbosity=args.verbose - args.quiet)
+    if args.trace_out:
+        events.set_sink(args.trace_out)
+    run_id = events.begin_run(args.command)
+    engine.set_default_jobs(args.jobs)
+    try:
+        _COMMANDS[args.command](args)
+        if args.metrics:
+            events.write_manifest(
+                args.metrics,
+                command=args.command,
+                seed=args.seed,
+                window=args.window,
+                jobs=engine.resolve_jobs(args.jobs),
+                run_id=run_id,
+                metrics=engine.run_metrics(run_id).as_dict(),
+                sweeps=engine.timing_summary(run_id),
+            )
+            _say(f"wrote run manifest {args.metrics}")
+        return 0
+    finally:
+        engine.set_default_jobs(None)
+        if args.trace_out:
+            events.set_sink(None)
 
 
 if __name__ == "__main__":

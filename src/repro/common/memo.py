@@ -38,6 +38,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import get_registry
 from repro.workloads.profiles import WorkloadProfile
 
 __all__ = ["MemoStats", "ArtifactCache", "get_cache", "clear_cache"]
@@ -89,6 +90,16 @@ class ArtifactCache:
             "grid": MemoStats(),
         }
 
+    def _record(self, category: str, hit: bool) -> None:
+        """Count one lookup, mirrored into the process metrics registry."""
+        stats = self.stats[category]
+        if hit:
+            stats.hits += 1
+            get_registry().counter(f"memo.{category}.hits").inc()
+        else:
+            stats.misses += 1
+            get_registry().counter(f"memo.{category}.misses").inc()
+
     def clear(self) -> None:
         """Drop every cached artifact and reset the statistics."""
         self._traces.clear()
@@ -119,9 +130,9 @@ class ArtifactCache:
                 self._traces.popitem(last=False)
         self._traces.move_to_end(key)
         if len(entry.trace) >= count:
-            self.stats["trace"].hits += 1
+            self._record("trace", hit=True)
         else:
-            self.stats["trace"].misses += 1
+            self._record("trace", hit=False)
             entry.trace.extend(
                 entry.generator.generate(count - len(entry.trace))
             )
@@ -141,12 +152,12 @@ class ArtifactCache:
         key = (profile, seed)
         master = self._predictors.get(key)
         if master is None:
-            self.stats["predictor"].misses += 1
+            self._record("predictor", hit=False)
             master = BranchPredictor()
             TraceGenerator(profile, seed=seed).pretrain_predictor(master)
             self._predictors[key] = master
         else:
-            self.stats["predictor"].hits += 1
+            self._record("predictor", hit=True)
         return master.clone()
 
     # -- thermal models ------------------------------------------------
@@ -180,11 +191,11 @@ class ArtifactCache:
         )
         grid = self._grids.get(key)
         if grid is None:
-            self.stats["grid"].misses += 1
+            self._record("grid", hit=False)
             grid = GridThermalModel(**kwargs)
             self._grids[key] = grid
         else:
-            self.stats["grid"].hits += 1
+            self._record("grid", hit=True)
         return grid
 
     def thermal_model(self, floorplan, config=None):
@@ -202,13 +213,13 @@ class ArtifactCache:
         key = self._geometry_key(floorplan, config)
         model = self._thermal_models.get(key)
         if model is None:
-            self.stats["thermal"].misses += 1
+            self._record("thermal", hit=False)
             model = ChipThermalModel(
                 floorplan, config, grid_factory=self._grid_factory
             )
             self._thermal_models[key] = model
         else:
-            self.stats["thermal"].hits += 1
+            self._record("thermal", hit=True)
         return model
 
     def solve_floorplan(self, floorplan, config=None, overrides=None):

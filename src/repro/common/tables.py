@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.obs import log
+
 __all__ = ["format_table", "print_table"]
 
 
@@ -25,6 +27,11 @@ def format_table(
 
 
 def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
-    """Print :func:`format_table` output with a leading blank line."""
-    print()
-    print(format_table(title, header, rows))
+    """Log :func:`format_table` output with a leading blank line.
+
+    Goes through the ``repro.tables`` logger so entry points decide where
+    table text lands; a default stdout handler is installed when nothing
+    configured logging first.
+    """
+    log.ensure_configured()
+    log.get_logger("tables").info("\n" + format_table(title, header, rows))

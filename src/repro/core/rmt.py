@@ -24,6 +24,7 @@ from repro.core.dfs import DfsController
 from repro.core.leading import LeadingCoreTiming, LeadingRunResult
 from repro.core.memory import MemoryHierarchy
 from repro.isa.instruction import Instruction
+from repro.obs.metrics import FRACTION_EDGES, get_registry
 
 __all__ = ["RmtSimulator", "RmtTimingResult"]
 
@@ -106,6 +107,10 @@ class RmtSimulator:
         self._boundary_consume_ptr = 0
         self._occupancy_samples: list[float] = []
         self.backpressure_commits = 0
+        # Which bounded queue gated each backpressured commit (plain dict
+        # bumps in the hot path; published to the metrics registry once
+        # per run).
+        self.queue_stalls = {"rvq": 0, "lvq": 0, "stb": 0, "boq": 0}
 
     # ------------------------------------------------------------------
     def run(self, trace: list[Instruction], warmup: int = 0) -> RmtTimingResult:
@@ -135,24 +140,23 @@ class RmtSimulator:
         """Earliest commit cycle for instruction ``i`` given queue space."""
         gate = 0.0
         needed = -1
+        binding = "rvq"
         # RVQ: every instruction occupies one entry.
         if i >= self._rvq_capacity:
-            needed = max(needed, i - self._rvq_capacity)
+            needed = i - self._rvq_capacity
         # LVQ / BOQ / StB: per-class occupancy.
         if instr.is_load and len(self._load_indices) >= self._lvq_capacity:
-            needed = max(
-                needed, self._load_indices[len(self._load_indices) - self._lvq_capacity]
-            )
+            cand = self._load_indices[len(self._load_indices) - self._lvq_capacity]
+            if cand > needed:
+                needed, binding = cand, "lvq"
         elif instr.is_store and len(self._store_indices) >= self._stb_capacity:
-            needed = max(
-                needed,
-                self._store_indices[len(self._store_indices) - self._stb_capacity],
-            )
+            cand = self._store_indices[len(self._store_indices) - self._stb_capacity]
+            if cand > needed:
+                needed, binding = cand, "stb"
         elif instr.is_branch and len(self._branch_indices) >= self._boq_capacity:
-            needed = max(
-                needed,
-                self._branch_indices[len(self._branch_indices) - self._boq_capacity],
-            )
+            cand = self._branch_indices[len(self._branch_indices) - self._boq_capacity]
+            if cand > needed:
+                needed, binding = cand, "boq"
         if needed < 0:
             return 0
         self._consume_until(needed)
@@ -160,6 +164,7 @@ class RmtSimulator:
         gate_cycle = int(math.ceil(gate))
         if gate_cycle > self.leading.current_cycle:
             self.backpressure_commits += 1
+            self.queue_stalls[binding] += 1
         return gate_cycle
 
     def _consume_until(self, index: int) -> None:
@@ -200,6 +205,7 @@ class RmtSimulator:
             if self._occupancy_samples
             else 0.0
         )
+        self._publish_metrics(mean_occ)
         return RmtTimingResult(
             leading=self.leading.result(instructions),
             frequency_residency=self.dfs.residency_fractions(),
@@ -209,3 +215,26 @@ class RmtSimulator:
             backpressure_commits=self.backpressure_commits,
             checker_instructions=self.checker.consumed,
         )
+
+    def _publish_metrics(self, mean_occupancy: float) -> None:
+        """Push this co-simulation's totals into the metrics registry.
+
+        Runs once, at the end of :meth:`run` — the hot loops only bump
+        plain attributes, and the registry sees aggregates.
+        """
+        m = get_registry()
+        m.counter("rmt.simulations").inc()
+        m.counter("rmt.backpressure_commits").inc(self.backpressure_commits)
+        for queue, stalls in self.queue_stalls.items():
+            m.counter(f"rmt.stalls.{queue}").inc(stalls)
+        m.counter("rmt.checker_instructions").inc(self.checker.consumed)
+        m.counter("dfs.transitions_up").inc(self.dfs.throttle_ups)
+        m.counter("dfs.transitions_down").inc(self.dfs.throttle_downs)
+        m.gauge("rmt.mean_rvq_occupancy_max").set(mean_occupancy)
+        residency = m.histogram("dfs.residency", FRACTION_EDGES)
+        for level, count in zip(self.dfs.residency.bins, self.dfs.residency.counts):
+            if count:
+                residency.observe(level, count)
+        occupancy = m.histogram("rmt.rvq_occupancy", FRACTION_EDGES)
+        for sample in self._occupancy_samples:
+            occupancy.observe(sample)

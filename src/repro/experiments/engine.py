@@ -15,12 +15,20 @@ instead of running nested loops inline.  The engine provides:
 * per-task wall-clock capture: each sweep records a :class:`SweepTiming`
   (task count, summed task CPU-seconds, sweep wall-seconds, speedup) into
   a process-local registry that ``experiments/report.py`` and the
-  benchmark harness render.
+  benchmark harness render.  Timings are stamped with the active run id
+  (:func:`repro.obs.events.current_run_id`), so consumers read one run's
+  sweeps with ``timings(run_id=...)`` instead of clearing the registry;
+* per-task metric capture: every task is bracketed with
+  ``registry.begin_task()`` / ``end_task()`` (:mod:`repro.obs.metrics`),
+  so its counter/histogram/span *delta* travels back with its result and
+  :func:`run_sweep` merges the deltas into ``SweepTiming.metrics``.
+  Merging is commutative and associative, so the merged snapshot is
+  identical at any worker count.
 
 Determinism: results are returned in task-submission order regardless of
 completion order, and every task re-derives its artifacts from explicit
 ``(profile, seed, window)`` keys, so a parallel sweep is bit-identical to
-the serial one.
+the serial one — including its merged metrics.
 """
 
 from __future__ import annotations
@@ -33,13 +41,17 @@ from functools import partial
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.common.errors import ConfigError
+from repro.obs import events
+from repro.obs.metrics import MetricsSnapshot, get_registry, merge_snapshots
 
 __all__ = [
     "JOBS_ENV_VAR",
     "SweepTiming",
     "resolve_jobs",
+    "set_default_jobs",
     "parallel_map",
     "run_sweep",
+    "run_metrics",
     "timings",
     "clear_timings",
     "timing_summary",
@@ -65,6 +77,8 @@ class SweepTiming:
     jobs: int
     task_wall_s: list[float] = field(default_factory=list)
     wall_s: float = 0.0
+    run_id: str = ""
+    metrics: MetricsSnapshot | None = None
 
     @property
     def tasks(self) -> int:
@@ -85,34 +99,60 @@ class SweepTiming:
 _TIMINGS: list[SweepTiming] = []
 
 
-def timings() -> list[SweepTiming]:
-    """Sweep timings recorded in this process, oldest first."""
-    return list(_TIMINGS)
+def timings(run_id: str | None = None) -> list[SweepTiming]:
+    """Sweep timings recorded in this process, oldest first.
+
+    With ``run_id``, only that run's sweeps — the registry is never
+    cleared between runs, so long-lived processes (test sessions,
+    notebooks) filter instead of racing over a global reset.
+    """
+    if run_id is None:
+        return list(_TIMINGS)
+    return [t for t in _TIMINGS if t.run_id == run_id]
 
 
 def clear_timings() -> None:
-    """Forget all recorded sweep timings."""
+    """Forget all recorded sweep timings (prefer run-id filtering)."""
     _TIMINGS.clear()
 
 
-def timing_summary() -> list[dict]:
-    """The recorded timings as plain dicts (JSON-serialisable)."""
-    return [
-        {
+def timing_summary(
+    run_id: str | None = None, include_metrics: bool = False
+) -> list[dict]:
+    """The recorded timings as plain dicts (JSON-serialisable).
+
+    ``include_metrics`` adds each sweep's merged metric snapshot (for
+    run manifests); the default stays compact for the results report.
+    """
+    rows = []
+    for t in timings(run_id):
+        row = {
             "label": t.label,
+            "run_id": t.run_id,
             "tasks": t.tasks,
             "jobs": t.jobs,
             "cpu_s": round(t.cpu_s, 3),
             "wall_s": round(t.wall_s, 3),
             "speedup": round(t.speedup, 2),
         }
-        for t in _TIMINGS
-    ]
+        if include_metrics:
+            row["metrics"] = (t.metrics or MetricsSnapshot()).as_dict()
+        rows.append(row)
+    return rows
 
 
-def format_timing_summary() -> str:
+def run_metrics(run_id: str | None = None) -> MetricsSnapshot:
+    """All of one run's sweep metrics merged into a single snapshot.
+
+    Built purely from the per-task deltas the sweeps collected, so the
+    result is identical whatever worker count produced them.
+    """
+    return merge_snapshots(t.metrics for t in timings(run_id))
+
+
+def format_timing_summary(run_id: str | None = None) -> str:
     """Human-readable table of every sweep recorded so far."""
-    rows = timing_summary()
+    rows = timing_summary(run_id)
     if not rows:
         return "no sweeps recorded"
     header = ["sweep", "tasks", "jobs", "cpu (s)", "wall (s)", "speedup"]
@@ -131,8 +171,26 @@ def format_timing_summary() -> str:
 
 
 # ---------------------------------------------------------------------
+_DEFAULT_JOBS: int | None = None
+
+
+def set_default_jobs(jobs: int | None) -> None:
+    """Set the process-wide default worker count (the CLI's ``--jobs``).
+
+    Applies to every sweep that does not pass ``jobs`` explicitly; it
+    outranks ``REPRO_JOBS``.  ``None`` restores environment/auto policy.
+    """
+    global _DEFAULT_JOBS
+    if jobs is not None and jobs < 1:
+        raise ConfigError(f"worker count must be >= 1, got {jobs}")
+    _DEFAULT_JOBS = jobs
+
+
 def resolve_jobs(jobs: int | None = None) -> int:
-    """The worker count to use: argument, then ``REPRO_JOBS``, then cores."""
+    """The worker count: argument, then :func:`set_default_jobs`, then
+    ``REPRO_JOBS``, then ``os.cpu_count()`` (capped)."""
+    if jobs is None:
+        jobs = _DEFAULT_JOBS
     if jobs is None:
         raw = os.environ.get(JOBS_ENV_VAR, "").strip()
         if raw:
@@ -149,11 +207,21 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return jobs
 
 
-def _timed_call(fn: Callable[[T], R], item: T) -> tuple[R, float]:
-    """Run one task and capture its wall time (executed in the worker)."""
+def _timed_call(
+    fn: Callable[[T], R], item: T
+) -> tuple[R, float, MetricsSnapshot]:
+    """Run one task; capture its wall time and metric delta (in-worker).
+
+    The delta snapshot is what crosses the process boundary: a worker's
+    absolute registry totals never leave it, so warm-cache state a
+    forked worker inherited cannot pollute the sweep's merged metrics.
+    """
+    registry = get_registry()
+    mark = registry.begin_task()
     start = time.perf_counter()
     result = fn(item)
-    return result, time.perf_counter() - start
+    wall = time.perf_counter() - start
+    return result, wall, registry.end_task(mark)
 
 
 def run_sweep(
@@ -175,27 +243,44 @@ def run_sweep(
     """
     tasks: Sequence[T] = list(items)
     jobs = min(resolve_jobs(jobs), max(1, len(tasks)))
-    timing = SweepTiming(label=label, jobs=jobs)
+    timing = SweepTiming(
+        label=label, jobs=jobs, run_id=events.current_run_id()
+    )
+    snapshots: list[MetricsSnapshot] = []
     start = time.perf_counter()
     if jobs == 1:
         results = []
         for item in tasks:
-            result, wall = _timed_call(fn, item)
+            result, wall, snap = _timed_call(fn, item)
             results.append(result)
             timing.task_wall_s.append(wall)
+            snapshots.append(snap)
     else:
         if chunksize is None:
             chunksize = max(1, -(-len(tasks) // (jobs * 4)))
         results = []
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            for result, wall in pool.map(
+            for result, wall, snap in pool.map(
                 partial(_timed_call, fn), tasks, chunksize=chunksize
             ):
                 results.append(result)
                 timing.task_wall_s.append(wall)
+                snapshots.append(snap)
     timing.wall_s = time.perf_counter() - start
+    # Merge in submission order: the operation is order-independent, but
+    # a fixed order keeps even float-valued span times reproducible for
+    # a given worker count.
+    timing.metrics = merge_snapshots(snapshots)
     if record:
         _TIMINGS.append(timing)
+        events.emit(
+            "sweep",
+            run_id=timing.run_id,
+            label=label,
+            tasks=timing.tasks,
+            jobs=jobs,
+            wall_s=round(timing.wall_s, 3),
+        )
     return results, timing
 
 

@@ -32,6 +32,8 @@ from repro.experiments.technology import (
     table8_power_ratios,
 )
 from repro.experiments.thermal import fig4_thermal_sweep, thermal_variants
+from repro.obs import events
+from repro.obs.tracing import flatten_spans
 from repro.workloads.profiles import get_profile
 
 __all__ = ["generate_report"]
@@ -121,6 +123,36 @@ def _render_markdown(data: dict) -> str:
                 for t in data["sweep_timings"]
             ],
         ))
+    metrics = data.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    if counters:
+        cache_rows = []
+        for category in ("trace", "predictor", "thermal", "grid"):
+            hits = counters.get(f"memo.{category}.hits", 0)
+            misses = counters.get(f"memo.{category}.misses", 0)
+            if hits or misses:
+                rate = hits / (hits + misses)
+                cache_rows.append([category, hits, misses, f"{rate:.1%}"])
+        if cache_rows:
+            sections.append(format_table(
+                "Artifact cache (memoized simulation artifacts)",
+                ["artifact", "hits", "misses", "hit rate"],
+                cache_rows,
+            ))
+        sections.append(format_table(
+            "Run metrics (counters)",
+            ["counter", "value"],
+            [[name, counters[name]] for name in sorted(counters)
+             if not name.startswith("sim.ops.")],
+        ))
+    span_rows = flatten_spans(metrics.get("spans"))
+    if span_rows:
+        sections.append(format_table(
+            "Span hot paths",
+            ["span", "count", "wall (s)", "cpu (s)"],
+            [[path, count, f"{wall:.3f}", f"{cpu:.3f}"]
+             for path, count, wall, cpu in span_rows],
+        ))
     return "\n\n".join(sections) + "\n"
 
 
@@ -136,11 +168,22 @@ def generate_report(
     window = window or SimulationWindow(warmup=3000, measured=10_000)
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
-    engine.clear_timings()
+    # Timings and metrics are scoped by run id, so a long-lived process
+    # (test session, notebook) can generate several reports without one
+    # run's sweeps leaking into the next — and without clearing a global
+    # registry someone else may be reading.
+    run_id = events.begin_run("report")
     data = _collect(window, subset)
-    # Per-sweep wall-clock accounting — the observability hook future
-    # BENCH_*.json trajectories consume.
-    data["sweep_timings"] = engine.timing_summary()
+    data["sweep_timings"] = engine.timing_summary(run_id)
+    data["metrics"] = engine.run_metrics(run_id).as_dict()
     (out / "results.json").write_text(json.dumps(data, indent=2, default=str))
     (out / "results.md").write_text(_render_markdown(data))
+    events.write_manifest(
+        out / "run_manifest.json",
+        command="report",
+        window=window.measured,
+        run_id=run_id,
+        metrics=data["metrics"],
+        sweeps=data["sweep_timings"],
+    )
     return data

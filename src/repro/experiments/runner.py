@@ -24,6 +24,8 @@ from repro.common.config import (
 from repro.core.leading import LeadingCoreTiming, LeadingRunResult
 from repro.core.memory import MemoryHierarchy
 from repro.core.rmt import RmtSimulator, RmtTimingResult
+from repro.obs.metrics import MetricsSnapshot, get_registry
+from repro.obs.tracing import span
 from repro.workloads.profiles import WorkloadProfile, get_profile
 
 __all__ = [
@@ -33,6 +35,7 @@ __all__ = [
     "simulate_rmt",
     "SimTask",
     "run_sim_task",
+    "run_sim_task_with_metrics",
     "DEFAULT_WINDOW",
 ]
 
@@ -84,12 +87,32 @@ def _prepare(
     # The hierarchy is stateful (tags mutate during the run), so it is
     # rebuilt and re-preloaded for every simulation; the trace and the
     # pretrained predictor are memoized (the predictor as a clone).
-    memory = build_memory(chip, leading, policy)
-    memory.preload_profile(profile)
-    cache = memo.get_cache()
-    predictor = cache.pretrained_predictor(profile, seed)
-    trace = cache.trace(profile, seed, window.total)
+    with span("sim.prepare"):
+        memory = build_memory(chip, leading, policy)
+        memory.preload_profile(profile)
+        cache = memo.get_cache()
+        with span("sim.predictor"):
+            predictor = cache.pretrained_predictor(profile, seed)
+        with span("sim.trace"):
+            trace = cache.trace(profile, seed, window.total)
     return profile, leading, memory, predictor, trace
+
+
+def _publish_sim_metrics(result: LeadingRunResult, memory: MemoryHierarchy) -> None:
+    """Push one simulation's leading-core totals into the registry.
+
+    Runs once per simulation so the per-instruction scheduler loop stays
+    uninstrumented; the NUCA L2 publishes its own policy-tagged totals.
+    """
+    m = get_registry()
+    m.counter("sim.instructions_retired").inc(result.instructions)
+    m.counter("sim.cycles").inc(result.cycles)
+    for op, count in result.op_counts.items():
+        if count:
+            m.counter(f"sim.ops.{op}").inc(count)
+    m.counter("l1d.hits").inc(memory.l1d.hits)
+    m.counter("l1d.misses").inc(memory.l1d.misses)
+    memory.l2.publish_metrics()
 
 
 def simulate_leading(
@@ -105,7 +128,10 @@ def simulate_leading(
         profile, chip, window, seed, policy, leading
     )
     core = LeadingCoreTiming(leading, memory, predictor)
-    return core.run(trace, warmup=window.warmup)
+    with span("sim.leading"):
+        result = core.run(trace, warmup=window.warmup)
+    _publish_sim_metrics(result, memory)
+    return result
 
 
 def simulate_rmt(
@@ -135,7 +161,10 @@ def simulate_rmt(
         transfer_latency_cycles=1 if chip.is_3d else 4,
         checker_peak_ratio=checker_peak_ratio,
     )
-    return simulator.run(trace, warmup=window.warmup)
+    with span("sim.rmt"):
+        result = simulator.run(trace, warmup=window.warmup)
+    _publish_sim_metrics(result.leading, memory)
+    return result
 
 
 # ---------------------------------------------------------------------
@@ -183,3 +212,19 @@ def run_sim_task(task: SimTask) -> LeadingRunResult | RmtTimingResult:
             checker_peak_ratio=task.checker_peak_ratio,
         )
     raise ValueError(f"unknown simulation kind {task.kind!r}")
+
+
+def run_sim_task_with_metrics(
+    task: SimTask,
+) -> tuple[LeadingRunResult | RmtTimingResult, MetricsSnapshot]:
+    """Run one task and capture the metrics delta it produced.
+
+    The engine uses this as its worker function so that each task's
+    contribution to the registry crosses the process boundary alongside
+    its result, letting ``run_sweep`` merge worker metrics into a total
+    that is identical however the tasks were partitioned.
+    """
+    registry = get_registry()
+    mark = registry.begin_task()
+    result = run_sim_task(task)
+    return result, registry.end_task(mark)

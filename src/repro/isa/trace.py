@@ -14,6 +14,8 @@ import numpy as np
 from repro.common.rng import RngFactory
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import OpClass
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 from repro.workloads.profiles import WorkloadProfile
 
 __all__ = ["TraceGenerator", "generate_trace"]
@@ -113,7 +115,12 @@ class TraceGenerator:
         into two ``generate(n)`` calls yields the identical stream.
         """
         while len(self._buffer) < count:
-            self._buffer.extend(self._generate_chunk(_CHUNK))
+            # Instrumented per chunk, not per instruction: one registry
+            # lookup amortised over _CHUNK generated instructions.
+            with span("trace.generate_chunk"):
+                chunk = self._generate_chunk(_CHUNK)
+            get_registry().counter("trace.instructions_generated").inc(len(chunk))
+            self._buffer.extend(chunk)
         out = self._buffer[:count]
         del self._buffer[:count]
         return out

@@ -1,0 +1,84 @@
+"""One ``repro`` logger hierarchy for everything the package says aloud.
+
+Library code never calls ``print``: it logs through a child of the
+``repro`` logger (``get_logger("tables")`` → ``repro.tables``) and the
+entry point decides whether and where that text goes.  The CLI calls
+:func:`configure` on every invocation — ``-v`` lowers the threshold to
+DEBUG, ``-q`` raises it to WARNING — and binds a fresh handler to the
+*current* ``sys.stdout`` so test harnesses that swap stdout still
+capture output.  Handlers installed here are tagged and replaced on
+reconfiguration, so repeated CLI calls in one process never stack
+duplicate handlers.
+
+Messages are emitted bare (``%(message)s``): the CLI's tables and
+figures are the user-facing product, not diagnostics, so no
+level/timestamp prefix is added at default verbosity.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["ROOT_LOGGER", "get_logger", "configure", "ensure_configured"]
+
+ROOT_LOGGER = "repro"
+
+_TAG = "_repro_obs_handler"
+
+
+class _StreamHandler(logging.StreamHandler):
+    """StreamHandler that stays quiet when the consumer closes the pipe.
+
+    ``repro ... | head`` closes stdout early; the default handler would
+    print a "Logging error" traceback for every record after that.
+    """
+
+    def handleError(self, record):
+        if isinstance(sys.exc_info()[1], BrokenPipeError):
+            return
+        super().handleError(record)
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The ``repro`` logger, or the child ``repro.<name>``."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER)
+
+
+def configure(verbosity: int = 0, stream=None) -> logging.Logger:
+    """(Re)configure the hierarchy's output handler.
+
+    ``verbosity`` maps counts of ``-v``/``-q``: >= 1 → DEBUG, 0 → INFO,
+    <= -1 → WARNING.  ``stream`` defaults to the current ``sys.stdout``.
+    """
+    logger = get_logger()
+    if verbosity >= 1:
+        level = logging.DEBUG
+    elif verbosity <= -1:
+        level = logging.WARNING
+    else:
+        level = logging.INFO
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        if getattr(handler, _TAG, False):
+            logger.removeHandler(handler)
+            handler.close()
+    handler = _StreamHandler(stream if stream is not None else sys.stdout)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    setattr(handler, _TAG, True)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+def ensure_configured() -> logging.Logger:
+    """Configure with defaults unless a handler is already installed.
+
+    Lets library entry points (``print_table``, the examples) produce
+    output when no CLI has configured logging, without ever stacking a
+    second handler on top of an existing configuration.
+    """
+    logger = get_logger()
+    if not logger.handlers:
+        return configure(0)
+    return logger

@@ -18,6 +18,8 @@ from scipy.sparse import coo_matrix, csc_matrix
 from scipy.sparse.linalg import splu
 
 from repro.common.errors import ThermalModelError
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 from repro.thermal.materials import Layer
 
 __all__ = ["GridThermalModel"]
@@ -141,7 +143,9 @@ class GridThermalModel:
         self.matrix = csc_matrix(
             coo_matrix((all_vals, (all_rows, all_cols)), shape=(self._n, self._n))
         )
-        self._lu = splu(self.matrix)
+        with span("thermal.lu_factorize"):
+            self._lu = splu(self.matrix)
+        get_registry().counter("thermal.factorizations").inc()
 
     # ------------------------------------------------------------------
     def layer_index(self, name: str) -> int:
@@ -173,7 +177,9 @@ class GridThermalModel:
             rhs[li * self._n_layer : (li + 1) * self._n_layer] += grid.ravel()
         rhs[self._bottom_idx] += self._g_bot * self.ambient_c
         rhs[self._top_idx] += self._g_top * self.ambient_c
-        temps = self._lu.solve(rhs)
+        get_registry().counter("thermal.solves").inc()
+        with span("thermal.lu_solve"):
+            temps = self._lu.solve(rhs)
         return {
             layer.name: temps[
                 i * self._n_layer : (i + 1) * self._n_layer

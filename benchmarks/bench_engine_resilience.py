@@ -1,0 +1,133 @@
+"""Overhead budget and chaos smoke test of the fault-tolerant engine.
+
+Two guarantees ride on this file:
+
+* the resilience machinery (attempt loop, outcome objects, policy
+  checks) costs the undisturbed happy path no more than 3% over a bare
+  pre-resilience sweep loop — measured against an inline reimplementation
+  of the old engine's serial path, on tasks of a fixed busy-wait length
+  so the comparison is stable across hosts;
+* a real CLI invocation survives aggressive chaos (worker kills plus
+  injected first-attempt failures) end to end: ``python -m repro fig6
+  --chaos worker-kill:0.9,task-fail:0.9 --retries 2`` exits 0 and writes
+  a run manifest.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+from conftest import print_table
+
+from repro.experiments import engine
+from repro.obs.metrics import get_registry
+
+_TASKS = 150
+_TASK_S = 0.002
+_OVERHEAD_BUDGET = 0.03
+# Absolute slack for scheduler jitter on sub-second measurements.
+_EPS_S = 0.025
+
+
+def _busy(_x):
+    # Fixed-duration busy wait: the same work on any host, so the
+    # engine-overhead ratio is not hostage to CPU speed.
+    t0 = time.perf_counter()
+    while time.perf_counter() - t0 < _TASK_S:
+        pass
+    return _x
+
+
+def _legacy_serial(fn, items):
+    """The pre-resilience engine's serial path: a bare metric-bracketed
+    loop with no attempt machinery, outcomes, or checkpoint probes."""
+    registry = get_registry()
+    results = []
+    for item in items:
+        mark = registry.begin_task()
+        results.append(fn(item))
+        registry.end_task(mark)
+    return results
+
+
+@pytest.mark.slow
+def test_happy_path_overhead_within_budget(benchmark):
+    items = list(range(_TASKS))
+
+    def run_legacy():
+        return _legacy_serial(_busy, items)
+
+    def run_engine():
+        results, _ = engine.run_sweep(_busy, items, jobs=1, record=False)
+        return results
+
+    # Warm both paths once, then take the best of three: overhead is a
+    # floor property, so the minimum is the right statistic.
+    run_legacy()
+    run_engine()
+    legacy_s = min(
+        _timed(run_legacy) for _ in range(3)
+    )
+    engine_s = min(
+        _timed(run_engine) for _ in range(3)
+    )
+    benchmark.pedantic(run_engine, rounds=1, iterations=1)
+
+    overhead = engine_s / legacy_s - 1.0
+    print_table(
+        f"Engine happy-path overhead ({_TASKS} x {_TASK_S * 1e3:.0f}ms tasks)",
+        ["path", "wall (s)", "overhead"],
+        [
+            ["legacy serial loop", f"{legacy_s:.3f}", "—"],
+            ["resilient engine", f"{engine_s:.3f}", f"{overhead:+.1%}"],
+        ],
+    )
+    assert engine_s <= legacy_s * (1.0 + _OVERHEAD_BUDGET) + _EPS_S, (
+        f"resilience machinery costs {overhead:.1%} on the happy path "
+        f"(budget {_OVERHEAD_BUDGET:.0%})"
+    )
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+@pytest.mark.slow
+def test_cli_survives_chaos(tmp_path):
+    """The acceptance smoke target: a chaos-ridden CLI sweep recovers,
+    exits 0, and its manifest metrics carry the full sweep."""
+    repo = Path(__file__).resolve().parent.parent
+    manifest_path = tmp_path / "manifest.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo / "src")
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "fig6",
+            "--benchmarks", "gzip,mcf", "--window", "1500", "--jobs", "2",
+            "--retries", "2", "--chaos", "worker-kill:0.9,task-fail:0.9,seed:1",
+            "--metrics", str(manifest_path),
+        ],
+        cwd=repo,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    manifest = json.loads(manifest_path.read_text())
+    sweep = manifest["sweeps"][0]
+    print_table(
+        "CLI chaos smoke (fig6 under worker kills + injected failures)",
+        ["tasks", "failures", "retries", "pool rebuilds"],
+        [[sweep["tasks"], sweep["failures"], sweep["retries"],
+          sweep["pool_rebuilds"]]],
+    )
+    assert sweep["tasks"] == 8
+    assert sweep["failures"] == 0
+    assert sweep["pool_rebuilds"] >= 1   # the kills really fired

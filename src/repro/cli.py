@@ -19,7 +19,10 @@ import argparse
 import sys
 
 from repro.common.config import ChipModel
+from repro.common.errors import ReproError
 from repro.common.tables import print_table
+from repro.experiments import chaos as chaos_mod
+from repro.experiments import checkpoint as checkpoint_mod
 from repro.experiments import engine
 from repro.experiments import (
     SimulationWindow,
@@ -360,6 +363,29 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", type=int, default=None,
                        help="worker processes for sweeps (default: "
                             "REPRO_JOBS or cpu count)")
+        p.add_argument("--retries", type=int, default=0,
+                       help="re-executions allowed per failed sweep task")
+        p.add_argument("--task-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="kill any single sweep task attempt that "
+                            "runs longer than this")
+        p.add_argument("--fail-fast", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="abort a sweep on the first exhausted task "
+                            "(--no-fail-fast collects failures and "
+                            "returns None for their slots)")
+        p.add_argument("--checkpoint", nargs="?", const=".repro/checkpoints",
+                       default=None, metavar="DIR",
+                       help="persist completed sweep tasks under DIR "
+                            "(default .repro/checkpoints) for --resume")
+        p.add_argument("--resume", default=None, metavar="RUN_ID",
+                       help="resume an interrupted checkpointed run: "
+                            "re-executes only tasks missing from its "
+                            "checkpoint")
+        p.add_argument("--chaos", default=None, metavar="SPEC",
+                       help="inject faults into sweep execution, e.g. "
+                            "'worker-kill:0.1,task-fail:0.05' "
+                            "(or set REPRO_CHAOS)")
         p.add_argument("--metrics", nargs="?", const="run_manifest.json",
                        default=None, metavar="PATH",
                        help="write a run manifest (metrics + sweep "
@@ -374,14 +400,35 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Library errors (:class:`ReproError`) become a one-line ``error:``
+    message and exit code 2; Ctrl-C exits 130 after the event sink is
+    flushed — any enabled sweep checkpoint is already on disk because
+    tasks are persisted as they complete, so the run can be continued
+    with ``--resume``.
+    """
     args = build_parser().parse_args(argv)
     log.configure(verbosity=args.verbose - args.quiet)
+    logger = log.get_logger("cli")
     if args.trace_out:
         events.set_sink(args.trace_out)
-    run_id = events.begin_run(args.command)
-    engine.set_default_jobs(args.jobs)
+    run_id = events.begin_run(args.command, run_id=args.resume)
+    checkpoint_dir = args.checkpoint or (
+        ".repro/checkpoints" if args.resume else None
+    )
     try:
+        engine.set_default_jobs(args.jobs)
+        engine.set_default_policy(engine.TaskPolicy(
+            max_retries=args.retries,
+            timeout_s=args.task_timeout,
+            fail_fast=args.fail_fast,
+        ))
+        if checkpoint_dir:
+            checkpoint_mod.set_checkpoint_dir(checkpoint_dir)
+            _say(f"checkpointing sweeps under {checkpoint_dir}/{run_id}")
+        if args.chaos:
+            chaos_mod.set_chaos(chaos_mod.ChaosPolicy.parse(args.chaos))
         _COMMANDS[args.command](args)
         if args.metrics:
             events.write_manifest(
@@ -396,8 +443,25 @@ def main(argv: list[str] | None = None) -> int:
             )
             _say(f"wrote run manifest {args.metrics}")
         return 0
+    except ReproError as exc:
+        events.emit("run_error", run_id=run_id, error=str(exc))
+        logger.error(f"error: {exc}")
+        return 2
+    except KeyboardInterrupt:
+        events.emit("run_interrupted", run_id=run_id)
+        if checkpoint_dir:
+            logger.error(
+                f"interrupted; resume with: repro {args.command} "
+                f"--resume {run_id}"
+            )
+        else:
+            logger.error("interrupted")
+        return 130
     finally:
         engine.set_default_jobs(None)
+        engine.set_default_policy(None)
+        checkpoint_mod.set_checkpoint_dir(None)
+        chaos_mod.set_chaos(None)
         if args.trace_out:
             events.set_sink(None)
 

@@ -38,3 +38,68 @@ class ThermalModelError(ReproError):
 
 class CalibrationError(ReproError):
     """A model could not be calibrated to its published anchor values."""
+
+
+# ---------------------------------------------------------------------
+# Sweep-execution failure taxonomy (repro.experiments.engine).  The
+# engine mirrors the paper's detect-and-recover discipline: every task
+# failure is classified, carries enough context to re-run the task, and
+# is either retried, collected, or escalated to a sweep abort.
+
+
+class TaskError(ReproError):
+    """One sweep task exhausted its attempts.
+
+    Carries the task's checkpoint key, its position in the sweep, how
+    many attempts were executed, and the traceback captured inside the
+    worker process (a plain string — the original exception object never
+    crosses the process boundary).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        task_key: str = "",
+        task_index: int | None = None,
+        attempts: int = 1,
+        worker_traceback: str = "",
+    ):
+        super().__init__(message)
+        self.task_key = task_key
+        self.task_index = task_index
+        self.attempts = attempts
+        self.worker_traceback = worker_traceback
+
+
+class TaskTimeoutError(TaskError):
+    """A task exceeded its per-task timeout on every allowed attempt."""
+
+    def __init__(self, message: str, *, timeout_s: float = 0.0, **kwargs):
+        super().__init__(message, **kwargs)
+        self.timeout_s = timeout_s
+
+
+class WorkerCrashError(ReproError):
+    """The worker pool kept dying and serial degradation was disabled.
+
+    Raised only when ``TaskPolicy.degrade_serial`` is off; with the
+    default policy the engine falls back to in-process execution instead.
+    """
+
+    def __init__(self, message: str, *, rebuilds: int = 0):
+        super().__init__(message)
+        self.rebuilds = rebuilds
+
+
+class SweepAbortedError(ReproError):
+    """A fail-fast sweep stopped early; ``failures`` holds the task errors."""
+
+    def __init__(self, message: str, *, label: str = "", failures=()):
+        super().__init__(message)
+        self.label = label
+        self.failures = list(failures)
+
+
+class ChaosError(ReproError):
+    """A fault injected by the chaos hook (``REPRO_CHAOS``), not a real bug."""

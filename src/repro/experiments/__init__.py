@@ -50,8 +50,10 @@ from repro.experiments.pipeline_depth import (
     slack_comparison,
     table5_pipeline_power,
 )
+from repro.experiments.chaos import ChaosPolicy
 from repro.experiments.engine import (
     SweepTiming,
+    TaskPolicy,
     format_timing_summary,
     parallel_map,
     resolve_jobs,
@@ -128,10 +130,12 @@ __all__ = [
     "Table5Row",
     "slack_comparison",
     "table5_pipeline_power",
+    "ChaosPolicy",
     "DEFAULT_WINDOW",
     "SimTask",
     "SimulationWindow",
     "SweepTiming",
+    "TaskPolicy",
     "build_memory",
     "format_timing_summary",
     "parallel_map",

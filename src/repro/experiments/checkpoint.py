@@ -1,0 +1,135 @@
+"""Resumable sweep checkpoints: completed task results persisted as JSONL.
+
+When checkpointing is enabled (:func:`set_checkpoint_dir`, or the CLI's
+``--checkpoint`` / ``--resume`` flags), the engine appends one line per
+completed task to ``<dir>/<run_id>/<sweep_label>.jsonl`` as the sweep
+progresses.  Each line carries the task's key, its position, its wall
+time, and the pickled result + metric delta, so an interrupted run —
+Ctrl-C, a crash, a power cut — restarts with ``--resume <run_id>`` and
+re-executes only the tasks that never finished.
+
+Restoration is **chunk-granular**: a chunk (the engine's worker-placement
+unit) is restored only when *every* task in it is checkpointed, and a
+partially-completed chunk re-runs whole.  That is what keeps merged
+metrics bit-identical across a resume boundary — per-worker memo caches
+warm up chunk-by-chunk, so re-running a full chunk reproduces exactly the
+hit/miss pattern the uninterrupted run would have produced.
+
+Task keys combine the task's position in the sweep with a hash of its
+description (``task_key()`` when the item provides one, ``repr``
+otherwise), so a resume with different parameters simply misses the
+checkpoint and re-runs — stale results are never resurrected.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import pickle
+import re
+from pathlib import Path
+
+__all__ = [
+    "set_checkpoint_dir",
+    "checkpoint_dir",
+    "task_key",
+    "SweepCheckpoint",
+    "open_sweep",
+]
+
+_DIR: Path | None = None
+
+
+def set_checkpoint_dir(path: str | Path | None) -> None:
+    """Enable checkpointing under ``path`` (``None`` turns it off)."""
+    global _DIR
+    _DIR = Path(path) if path is not None else None
+
+
+def checkpoint_dir() -> Path | None:
+    """The active checkpoint root, if checkpointing is enabled."""
+    return _DIR
+
+
+def task_key(item, index: int) -> str:
+    """A stable key for one sweep task: position + description hash."""
+    describe = getattr(item, "task_key", None)
+    body = describe() if callable(describe) else repr(item)
+    digest = hashlib.sha256(body.encode()).hexdigest()[:16]
+    return f"{index:05d}:{digest}"
+
+
+def _encode(obj) -> str:
+    return base64.b64encode(pickle.dumps(obj)).decode("ascii")
+
+
+def _decode(text: str):
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+class SweepCheckpoint:
+    """Append-only JSONL checkpoint for one sweep of one run."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.records: dict[str, dict] = {}
+        torn = False
+        if self.path.exists():
+            text = self.path.read_text(encoding="utf-8")
+            torn = bool(text) and not text.endswith("\n")
+            for line in text.splitlines():
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn final line from a hard kill; everything
+                    # before it is intact, the task just re-runs.
+                    continue
+                self.records[record["key"]] = record
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a", encoding="utf-8")
+        if torn:
+            # Seal the torn line so the next append starts fresh.
+            self._fh.write("\n")
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.records
+
+    def append(self, key: str, index: int, task: str, wall_s: float,
+               result, metrics) -> None:
+        """Persist one completed task (flushed line-by-line)."""
+        record = {
+            "key": key,
+            "index": index,
+            "task": task,
+            "wall_s": round(wall_s, 6),
+            "result": _encode(result),
+            "metrics": _encode(metrics),
+        }
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+        self.records[key] = record
+
+    def restore(self, key: str) -> tuple[object, float, object] | None:
+        """The stored ``(result, wall_s, metrics)`` for ``key``, if any."""
+        record = self.records.get(key)
+        if record is None:
+            return None
+        return (
+            _decode(record["result"]),
+            float(record["wall_s"]),
+            _decode(record["metrics"]),
+        )
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        self._fh.close()
+
+
+def open_sweep(label: str, run_id: str) -> SweepCheckpoint | None:
+    """The checkpoint for one sweep, or ``None`` when checkpointing is off."""
+    if _DIR is None:
+        return None
+    safe = re.sub(r"[^\w.-]+", "_", label) or "sweep"
+    return SweepCheckpoint(_DIR / run_id / f"{safe}.jsonl")

@@ -1,54 +1,86 @@
-"""Parallel experiment execution engine.
+"""Fault-tolerant parallel experiment execution engine.
 
 Every figure/table driver is a sweep over independent ``(benchmark x chip
 model x policy)`` simulations, so the drivers submit their task lists here
 instead of running nested loops inline.  The engine provides:
 
 * :func:`parallel_map` / :func:`run_sweep` — order-preserving map over a
-  :class:`~concurrent.futures.ProcessPoolExecutor` with chunked submission
-  (chunks keep a worker on one benchmark's tasks so its per-process
-  artifact cache gets hits; see :mod:`repro.common.memo`);
+  :class:`~concurrent.futures.ProcessPoolExecutor` with chunked,
+  future-based submission (chunks keep a worker on one benchmark's tasks
+  so its per-process artifact cache gets hits; see
+  :mod:`repro.common.memo`);
 * a worker-count policy: an explicit ``jobs`` argument wins, then the
   ``REPRO_JOBS`` environment variable, then ``os.cpu_count()``.
   ``jobs=1`` is a pure in-process serial loop — no executor, no pickling —
   so ``pdb``, profilers, and coverage keep working;
-* per-task wall-clock capture: each sweep records a :class:`SweepTiming`
-  (task count, summed task CPU-seconds, sweep wall-seconds, speedup) into
-  a process-local registry that ``experiments/report.py`` and the
-  benchmark harness render.  Timings are stamped with the active run id
-  (:func:`repro.obs.events.current_run_id`), so consumers read one run's
-  sweeps with ``timings(run_id=...)`` instead of clearing the registry;
-* per-task metric capture: every task is bracketed with
-  ``registry.begin_task()`` / ``end_task()`` (:mod:`repro.obs.metrics`),
-  so its counter/histogram/span *delta* travels back with its result and
-  :func:`run_sweep` merges the deltas into ``SweepTiming.metrics``.
-  Merging is commutative and associative, so the merged snapshot is
-  identical at any worker count.
+* a resilience policy (:class:`TaskPolicy`): per-task retries with
+  exponential backoff and deterministic jitter, a per-task timeout that
+  kills hung attempts from inside the worker, fail-fast vs.
+  collect-errors modes, transparent rebuild of a broken worker pool
+  (``BrokenProcessPool``), and graceful degradation to serial execution
+  after repeated worker deaths;
+* sweep checkpointing (:mod:`repro.experiments.checkpoint`): completed
+  task results append to a JSONL file keyed by run id and task key, so an
+  interrupted sweep resumes via ``--resume <run_id>`` and re-executes
+  only the tasks that never finished;
+* a chaos hook (:mod:`repro.experiments.chaos`, ``REPRO_CHAOS``) that
+  injects worker-side failures, delays, and process kills so the recovery
+  machinery is itself testable — mirroring how :mod:`repro.core.faults`
+  injects faults into the simulated cores;
+* per-task wall-clock, metric-delta, and failure accounting recorded as a
+  :class:`SweepTiming` per sweep (stamped with the active run id) that
+  ``experiments/report.py`` and the benchmark harness render.
 
 Determinism: results are returned in task-submission order regardless of
-completion order, and every task re-derives its artifacts from explicit
-``(profile, seed, window)`` keys, so a parallel sweep is bit-identical to
-the serial one — including its merged metrics.
+completion, retry, or resume history.  Tasks are pure — a retried attempt
+is bit-identical to a clean first run — and the metric deltas of failed
+attempts are discarded, so merged sweep metrics are equal across any
+worker count, retry history, or resume boundary.  Chaos injections fire
+*before* a task's body and only on first attempts, which keeps even a
+chaos-disturbed sweep bit-identical to an undisturbed serial one.
+
+Failure accounting (failures/retries/timeouts/pool rebuilds) deliberately
+stays **out** of the merged metric snapshots and in dedicated
+:class:`SweepTiming` fields: the ``metrics`` section of a run manifest
+must stay bit-identical between a faulted-and-recovered run and a clean
+one, which it could not if recovery events were counted there.
 """
 
 from __future__ import annotations
 
 import os
+import signal
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+import traceback as traceback_mod
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from functools import partial
 from typing import Callable, Iterable, Sequence, TypeVar
 
-from repro.common.errors import ConfigError
+from repro.common.errors import (
+    ChaosError,
+    ConfigError,
+    SweepAbortedError,
+    TaskError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
+from repro.experiments import chaos as chaos_mod
+from repro.experiments import checkpoint as checkpoint_mod
+from repro.experiments.chaos import ChaosPolicy, hash01
 from repro.obs import events
 from repro.obs.metrics import MetricsSnapshot, get_registry, merge_snapshots
 
 __all__ = [
     "JOBS_ENV_VAR",
+    "TaskPolicy",
     "SweepTiming",
     "resolve_jobs",
     "set_default_jobs",
+    "set_default_policy",
     "parallel_map",
     "run_sweep",
     "run_metrics",
@@ -68,10 +100,89 @@ JOBS_ENV_VAR = "REPRO_JOBS"
 # is capped unless the user asks explicitly.
 _MAX_AUTO_JOBS = 16
 
+# Guard against division by a degenerate (sub-resolution) wall clock.
+_EPS_WALL_S = 1e-9
 
+
+# ---------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaskPolicy:
+    """How a sweep treats task failures, hangs, and worker deaths.
+
+    ``max_retries`` counts *re*-executions per task beyond the first
+    attempt.  ``timeout_s`` kills an attempt from inside the worker (a
+    ``SIGALRM`` timer around the task body; enforcement needs a Unix
+    main thread and otherwise degrades to no limit).  Backoff between a
+    task's attempts grows exponentially from ``backoff_s`` and carries
+    deterministic jitter derived from the task index, so retry storms
+    from chunk-mates never synchronise yet stay reproducible.  With
+    ``fail_fast`` (the default) the first exhausted task aborts the
+    sweep with :class:`SweepAbortedError`; otherwise failures are
+    collected, failed slots return ``None``, and the sweep completes.
+    A pool that keeps dying is rebuilt ``max_pool_rebuilds`` times, then
+    the remaining tasks run serially in-process (``degrade_serial``) or
+    :class:`WorkerCrashError` is raised.
+    """
+
+    max_retries: int = 0
+    timeout_s: float | None = None
+    backoff_s: float = 0.0
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 2.0
+    fail_fast: bool = True
+    max_pool_rebuilds: int = 3
+    degrade_serial: bool = True
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigError(
+                f"timeout_s must be positive, got {self.timeout_s}"
+            )
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise ConfigError("backoff times must be >= 0")
+        if self.max_pool_rebuilds < 0:
+            raise ConfigError(
+                f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds}"
+            )
+
+    def backoff(self, task_index: int, attempt: int) -> float:
+        """Seconds to wait before ``attempt`` (>= 1) of ``task_index``.
+
+        Exponential in the attempt number, capped at ``max_backoff_s``,
+        with up to +50% jitter hashed from the task index — deterministic
+        for a given sweep, decorrelated across tasks.
+        """
+        if self.backoff_s <= 0:
+            return 0.0
+        base = min(
+            self.backoff_s * self.backoff_multiplier ** (attempt - 1),
+            self.max_backoff_s,
+        )
+        return base * (1.0 + 0.5 * hash01(f"backoff:{task_index}:{attempt}"))
+
+
+_BASE_POLICY = TaskPolicy()
+_DEFAULT_POLICY: TaskPolicy | None = None
+
+
+def set_default_policy(policy: TaskPolicy | None) -> None:
+    """Set the process-wide resilience policy (the CLI's retry flags).
+
+    Applies to every sweep that does not pass ``policy`` explicitly;
+    ``None`` restores the no-retry, fail-fast default.
+    """
+    global _DEFAULT_POLICY
+    _DEFAULT_POLICY = policy
+
+
+# ---------------------------------------------------------------------
 @dataclass
 class SweepTiming:
-    """Wall-clock accounting of one sweep through the engine."""
+    """Wall-clock and failure accounting of one sweep through the engine."""
 
     label: str
     jobs: int
@@ -79,6 +190,13 @@ class SweepTiming:
     wall_s: float = 0.0
     run_id: str = ""
     metrics: MetricsSnapshot | None = None
+    failures: int = 0        # tasks that exhausted every attempt
+    retries: int = 0         # failed attempts that were retried
+    timeouts: int = 0        # attempts killed by the per-task timeout
+    pool_rebuilds: int = 0   # BrokenProcessPool recoveries
+    resumed_tasks: int = 0   # tasks restored from a checkpoint
+    degraded: bool = False   # fell back to serial after repeated crashes
+    empty: bool = False      # sweep had no tasks (not recorded)
 
     @property
     def tasks(self) -> int:
@@ -92,8 +210,14 @@ class SweepTiming:
 
     @property
     def speedup(self) -> float:
-        """Serial-equivalent time over actual wall time (1.0 when serial)."""
-        return self.cpu_s / self.wall_s if self.wall_s > 0 else 1.0
+        """Serial-equivalent time over actual wall time.
+
+        Division is epsilon-guarded, so a degenerate (sub-resolution)
+        wall clock yields a huge-but-finite ratio instead of a bogus
+        ``1.0``; :func:`format_timing_summary` renders such sweeps as
+        ``—``.  An empty sweep reports ``0.0``.
+        """
+        return self.cpu_s / max(self.wall_s, _EPS_WALL_S)
 
 
 _TIMINGS: list[SweepTiming] = []
@@ -134,6 +258,12 @@ def timing_summary(
             "cpu_s": round(t.cpu_s, 3),
             "wall_s": round(t.wall_s, 3),
             "speedup": round(t.speedup, 2),
+            "failures": t.failures,
+            "retries": t.retries,
+            "timeouts": t.timeouts,
+            "pool_rebuilds": t.pool_rebuilds,
+            "resumed_tasks": t.resumed_tasks,
+            "degraded": t.degraded,
         }
         if include_metrics:
             row["metrics"] = (t.metrics or MetricsSnapshot()).as_dict()
@@ -158,7 +288,9 @@ def format_timing_summary(run_id: str | None = None) -> str:
     header = ["sweep", "tasks", "jobs", "cpu (s)", "wall (s)", "speedup"]
     table = [
         [r["label"], str(r["tasks"]), str(r["jobs"]), f"{r['cpu_s']:.2f}",
-         f"{r['wall_s']:.2f}", f"{r['speedup']:.2f}x"]
+         f"{r['wall_s']:.2f}",
+         "—" if r["wall_s"] <= 0 or r["tasks"] == 0
+         else f"{r['speedup']:.2f}x"]
         for r in rows
     ]
     widths = [
@@ -207,23 +339,367 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return jobs
 
 
-def _timed_call(
-    fn: Callable[[T], R], item: T
-) -> tuple[R, float, MetricsSnapshot]:
-    """Run one task; capture its wall time and metric delta (in-worker).
+# ---------------------------------------------------------------------
+# Worker-side task execution: attempts, timeouts, chaos.
+#
+# A sweep entry is the tuple ``(index, base_attempt, item)``.
+# ``base_attempt`` is nonzero only after a chaos kill was attributed to
+# the task, so its rerun counts the consumed attempt and skips further
+# first-attempt injections.
 
-    The delta snapshot is what crosses the process boundary: a worker's
-    absolute registry totals never leave it, so warm-cache state a
-    forked worker inherited cannot pollute the sweep's merged metrics.
+
+class _TaskTimeout(BaseException):
+    """Raised by the SIGALRM handler; BaseException so the task body
+    cannot swallow it with a broad ``except Exception``."""
+
+
+@contextmanager
+def _deadline(timeout_s: float | None):
+    """Kill the enclosed block after ``timeout_s`` via an interval timer.
+
+    Enforcement requires ``SIGALRM`` (Unix) and the main thread — both
+    true for pool workers and for the serial in-process path.  Anywhere
+    else the block runs unlimited rather than failing.
     """
+    usable = (
+        timeout_s is not None
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise _TaskTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass
+class _TaskOutcome:
+    """What one task's attempt loop produced (picklable)."""
+
+    index: int
+    ok: bool = False
+    result: object = None
+    wall_s: float = 0.0
+    metrics: MetricsSnapshot | None = None
+    attempts: int = 0        # attempts executed here (excludes base)
+    retries: int = 0         # failed attempts that were retried in place
+    timeouts: int = 0        # attempts killed by the per-task timeout
+    error_kind: str = ""     # "error" | "timeout" | "chaos"
+    error: str = ""
+    traceback: str = ""
+
+
+def _attempt_task(
+    fn: Callable[[T], R],
+    item: T,
+    index: int,
+    base_attempt: int,
+    policy: TaskPolicy,
+    chaos: ChaosPolicy | None,
+    in_worker: bool,
+) -> _TaskOutcome:
+    """Run one task with in-place retries; never raises task errors.
+
+    Retries stay on the executing process on purpose: the retry then
+    sees exactly the memo-cache state a clean run would have, which is
+    part of the merged-metric determinism contract.  Failed attempts
+    call ``end_task`` purely to unwind the span stack — their metric
+    deltas are discarded.
+    """
+    outcome = _TaskOutcome(index=index)
+    attempts_allowed = max(1, policy.max_retries + 1 - base_attempt)
     registry = get_registry()
-    mark = registry.begin_task()
-    start = time.perf_counter()
-    result = fn(item)
-    wall = time.perf_counter() - start
-    return result, wall, registry.end_task(mark)
+    for n in range(attempts_allowed):
+        attempt = base_attempt + n
+        outcome.attempts = n + 1
+        if n:
+            delay = policy.backoff(index, attempt)
+            if delay:
+                time.sleep(delay)
+        try:
+            if chaos is not None:
+                chaos.inject(index, attempt, in_worker=in_worker)
+            mark = registry.begin_task()
+            try:
+                start = time.perf_counter()
+                with _deadline(policy.timeout_s):
+                    result = fn(item)
+                wall = time.perf_counter() - start
+                snapshot = registry.end_task(mark)
+            except BaseException:
+                registry.end_task(mark)
+                raise
+        except _TaskTimeout:
+            outcome.timeouts += 1
+            outcome.error_kind = "timeout"
+            outcome.error = f"task exceeded its {policy.timeout_s}s timeout"
+            outcome.traceback = traceback_mod.format_exc()
+        except ChaosError as exc:
+            outcome.error_kind = "chaos"
+            outcome.error = str(exc)
+            outcome.traceback = traceback_mod.format_exc()
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            outcome.error_kind = "error"
+            outcome.error = f"{type(exc).__name__}: {exc}"
+            outcome.traceback = traceback_mod.format_exc()
+        else:
+            outcome.ok = True
+            outcome.result = result
+            outcome.wall_s = wall
+            outcome.metrics = snapshot
+            return outcome
+        if n + 1 < attempts_allowed:
+            outcome.retries += 1
+    return outcome
 
 
+def _run_chunk(
+    fn: Callable[[T], R],
+    entries: Sequence[tuple[int, int, T]],
+    policy: TaskPolicy,
+    chaos: ChaosPolicy | None,
+    in_worker: bool,
+) -> list[_TaskOutcome]:
+    """Execute one chunk of entries in order (the pool's unit of work)."""
+    return [
+        _attempt_task(fn, item, index, base, policy, chaos, in_worker)
+        for index, base, item in entries
+    ]
+
+
+# ---------------------------------------------------------------------
+# Controller side: chunk scheduling, pool recovery, checkpointing.
+
+
+class _SweepState:
+    """Per-sweep bookkeeping shared by the serial and pool paths."""
+
+    def __init__(
+        self,
+        tasks: Sequence,
+        label: str,
+        policy: TaskPolicy,
+        timing: SweepTiming,
+        ckpt: checkpoint_mod.SweepCheckpoint | None,
+    ):
+        self.tasks = tasks
+        self.label = label
+        self.policy = policy
+        self.timing = timing
+        self.ckpt = ckpt
+        n = len(tasks)
+        self.results: list = [None] * n
+        self.walls: list[float] = [0.0] * n
+        self.snapshots: list[MetricsSnapshot | None] = [None] * n
+        self.failures: list[TaskError] = []
+
+    def restore(self, entry: tuple[int, int, object]) -> bool:
+        """Fill one slot from the checkpoint; True when restored."""
+        if self.ckpt is None:
+            return False
+        index, _base, item = entry
+        stored = self.ckpt.restore(checkpoint_mod.task_key(item, index))
+        if stored is None:
+            return False
+        self.results[index], self.walls[index], self.snapshots[index] = stored
+        self.timing.resumed_tasks += 1
+        return True
+
+    def absorb(self, outcome: _TaskOutcome) -> None:
+        """Fold one final task outcome into the sweep (and checkpoint)."""
+        i = outcome.index
+        self.timing.retries += outcome.retries
+        self.timing.timeouts += outcome.timeouts
+        if outcome.ok:
+            self.results[i] = outcome.result
+            self.walls[i] = outcome.wall_s
+            self.snapshots[i] = outcome.metrics
+            if self.ckpt is not None:
+                item = self.tasks[i]
+                self.ckpt.append(
+                    checkpoint_mod.task_key(item, i),
+                    i,
+                    repr(item)[:160],
+                    outcome.wall_s,
+                    outcome.result,
+                    outcome.metrics,
+                )
+            return
+        self.timing.failures += 1
+        key = checkpoint_mod.task_key(self.tasks[i], i)
+        message = (
+            f"sweep {self.label!r} task {i} failed after "
+            f"{outcome.attempts} attempt(s): {outcome.error}"
+        )
+        cls = TaskTimeoutError if outcome.error_kind == "timeout" else TaskError
+        kwargs = dict(
+            task_key=key,
+            task_index=i,
+            attempts=outcome.attempts,
+            worker_traceback=outcome.traceback,
+        )
+        if cls is TaskTimeoutError:
+            kwargs["timeout_s"] = self.policy.timeout_s or 0.0
+        error = cls(message, **kwargs)
+        self.failures.append(error)
+        events.emit(
+            "task_failed",
+            run_id=self.timing.run_id,
+            label=self.label,
+            task_index=i,
+            task_key=key,
+            attempts=outcome.attempts,
+            error_kind=outcome.error_kind,
+            error=outcome.error,
+        )
+        if self.policy.fail_fast:
+            raise SweepAbortedError(
+                f"sweep {self.label!r} aborted: {message}",
+                label=self.label,
+                failures=self.failures,
+            ) from error
+
+    def absorb_chunk_error(self, chunk, exc: Exception) -> None:
+        """An infrastructure failure lost a whole chunk (e.g. the result
+        would not unpickle); every task in it counts as failed."""
+        for index, base, _item in chunk:
+            self.absorb(_TaskOutcome(
+                index=index,
+                attempts=base + 1,
+                error_kind="error",
+                error=f"chunk execution failed: {type(exc).__name__}: {exc}",
+            ))
+
+
+def _chunked(entries: list, chunksize: int) -> list[list]:
+    return [
+        entries[i:i + chunksize] for i in range(0, len(entries), chunksize)
+    ]
+
+
+def _bump_killed_entries(chunk, chaos: ChaosPolicy | None):
+    """After a pool crash, consume the first attempt of every entry the
+    chaos policy would have killed, so its rerun is injection-free.  Both
+    sides of the process boundary compute the same pure decision, which
+    is what lets the controller attribute a crash it only observed as a
+    ``BrokenProcessPool``.  Real (non-chaos) crashes resubmit unchanged.
+    """
+    if chaos is None:
+        return chunk
+    return [
+        (index, base + 1, item)
+        if chaos.kills(index, base) else (index, base, item)
+        for index, base, item in chunk
+    ]
+
+
+def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
+    """Best-effort terminate of pool workers on abnormal exits, so an
+    abort or Ctrl-C is not held hostage by a long or hung task.  Reaches
+    into executor internals, hence the broad guard."""
+    try:
+        processes = list((pool._processes or {}).values())
+    except Exception:
+        return
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+
+
+def _run_serial(fn, chunks, policy, chaos, state: _SweepState) -> None:
+    for chunk in chunks:
+        for index, base, item in chunk:
+            state.absorb(
+                _attempt_task(fn, item, index, base, policy, chaos,
+                              in_worker=False)
+            )
+
+
+def _run_pooled(fn, chunks, jobs, policy, chaos, state: _SweepState) -> None:
+    """Future-based chunk execution with broken-pool recovery.
+
+    Chunks are resubmitted whole after a crash: a fresh worker re-runs
+    the chunk from a cold cache exactly like the first worker did, so
+    the re-produced metric deltas are bit-identical and nothing from the
+    aborted pass survives (its results died with the worker).
+    """
+    pending = list(chunks)
+    rebuilds = 0
+    while pending:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+        broken = False
+        try:
+            inflight = {
+                pool.submit(_run_chunk, fn, chunk, policy, chaos, True): chunk
+                for chunk in pending
+            }
+            pending = []
+            while inflight:
+                done, _ = futures_wait(inflight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    chunk = inflight.pop(future)
+                    try:
+                        outcomes = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        pending.append(_bump_killed_entries(chunk, chaos))
+                        continue
+                    except Exception as exc:
+                        state.absorb_chunk_error(chunk, exc)
+                        continue
+                    for outcome in outcomes:
+                        state.absorb(outcome)
+        except BaseException:
+            _kill_pool_workers(pool)
+            raise
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if not broken:
+            return
+        rebuilds += 1
+        state.timing.pool_rebuilds += 1
+        events.emit(
+            "pool_rebuilt",
+            run_id=state.timing.run_id,
+            label=state.label,
+            rebuilds=rebuilds,
+            unfinished_tasks=sum(len(c) for c in pending),
+        )
+        if rebuilds > policy.max_pool_rebuilds:
+            if not policy.degrade_serial:
+                raise WorkerCrashError(
+                    f"sweep {state.label!r}: worker pool died "
+                    f"{rebuilds} times (max_pool_rebuilds="
+                    f"{policy.max_pool_rebuilds})",
+                    rebuilds=rebuilds,
+                )
+            state.timing.degraded = True
+            events.emit(
+                "sweep_degraded",
+                run_id=state.timing.run_id,
+                label=state.label,
+                rebuilds=rebuilds,
+                remaining_tasks=sum(len(c) for c in pending),
+            )
+            _run_serial(fn, pending, policy, chaos, state)
+            return
+
+
+# ---------------------------------------------------------------------
 def run_sweep(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -231,57 +707,96 @@ def run_sweep(
     chunksize: int | None = None,
     label: str = "sweep",
     record: bool = True,
+    policy: TaskPolicy | None = None,
+    chaos: ChaosPolicy | None = None,
 ) -> tuple[list[R], SweepTiming]:
-    """Map ``fn`` over ``items``, preserving order, and time every task.
+    """Map ``fn`` over ``items``, preserving order, with fault tolerance.
 
     ``fn`` must be a module-level callable and every item picklable when
     more than one worker is used (tasks cross a process boundary).  With
     ``jobs=1`` nothing is pickled and everything runs in-process.
-    ``chunksize`` controls how many consecutive tasks a worker takes at
-    once; drivers pass the inner-loop length so one worker runs all of a
-    benchmark's chip models and reuses its memoized trace.
+    ``chunksize`` controls how many consecutive tasks form one unit of
+    worker placement; drivers pass the inner-loop length so one worker
+    runs all of a benchmark's chip models and reuses its memoized trace.
+
+    ``policy`` (default: :func:`set_default_policy`, else no retries,
+    fail fast) governs retries, timeouts, error collection, and pool
+    recovery; ``chaos`` (default: :func:`chaos.set_chaos`, else the
+    ``REPRO_CHAOS`` environment variable) injects faults for testing.
+    In collect-errors mode the returned list holds ``None`` for tasks
+    that exhausted their attempts.
+
+    An empty task list returns immediately with ``timing.empty`` set and
+    records nothing, so reports never show zero-task sweeps.
     """
     tasks: Sequence[T] = list(items)
+    policy = policy or _DEFAULT_POLICY or _BASE_POLICY
+    chaos = chaos if chaos is not None else chaos_mod.current_chaos()
+    run_id = events.current_run_id()
+    timing = SweepTiming(label=label, jobs=1, run_id=run_id)
+    if not tasks:
+        timing.empty = True
+        timing.metrics = MetricsSnapshot()
+        return [], timing
     jobs = min(resolve_jobs(jobs), max(1, len(tasks)))
-    timing = SweepTiming(
-        label=label, jobs=jobs, run_id=events.current_run_id()
-    )
-    snapshots: list[MetricsSnapshot] = []
+    if chunksize is None:
+        chunksize = max(1, -(-len(tasks) // (jobs * 4)))
+    entries = [(i, 0, item) for i, item in enumerate(tasks)]
+    chunks = _chunked(entries, chunksize)
+    ckpt = checkpoint_mod.open_sweep(label, run_id)
+    state = _SweepState(tasks, label, policy, timing, ckpt)
+    # Chunk-granular restore: a chunk re-runs whole unless every one of
+    # its tasks is checkpointed (see repro.experiments.checkpoint).
+    pending_chunks = []
+    for chunk in chunks:
+        probe = timing.resumed_tasks
+        if all(state.restore(entry) for entry in chunk):
+            continue
+        timing.resumed_tasks = probe
+        pending_chunks.append(chunk)
+    jobs = min(jobs, max(1, len(pending_chunks)))
+    timing.jobs = jobs
     start = time.perf_counter()
-    if jobs == 1:
-        results = []
-        for item in tasks:
-            result, wall, snap = _timed_call(fn, item)
-            results.append(result)
-            timing.task_wall_s.append(wall)
-            snapshots.append(snap)
-    else:
-        if chunksize is None:
-            chunksize = max(1, -(-len(tasks) // (jobs * 4)))
-        results = []
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            for result, wall, snap in pool.map(
-                partial(_timed_call, fn), tasks, chunksize=chunksize
-            ):
-                results.append(result)
-                timing.task_wall_s.append(wall)
-                snapshots.append(snap)
+    try:
+        if pending_chunks:
+            if jobs == 1:
+                _run_serial(fn, pending_chunks, policy, chaos, state)
+            else:
+                _run_pooled(fn, pending_chunks, jobs, policy, chaos, state)
+    except KeyboardInterrupt:
+        events.emit(
+            "sweep_interrupted",
+            run_id=run_id,
+            label=label,
+            completed_tasks=sum(s is not None for s in state.snapshots),
+            checkpointed=ckpt is not None,
+        )
+        raise
+    finally:
+        if ckpt is not None:
+            ckpt.close()
     timing.wall_s = time.perf_counter() - start
+    timing.task_wall_s = list(state.walls)
     # Merge in submission order: the operation is order-independent, but
     # a fixed order keeps even float-valued span times reproducible for
     # a given worker count.
-    timing.metrics = merge_snapshots(snapshots)
+    timing.metrics = merge_snapshots(state.snapshots)
     if record:
         _TIMINGS.append(timing)
         events.emit(
             "sweep",
-            run_id=timing.run_id,
+            run_id=run_id,
             label=label,
             tasks=timing.tasks,
             jobs=jobs,
             wall_s=round(timing.wall_s, 3),
+            failures=timing.failures,
+            retries=timing.retries,
+            timeouts=timing.timeouts,
+            pool_rebuilds=timing.pool_rebuilds,
+            resumed_tasks=timing.resumed_tasks,
         )
-    return results, timing
+    return state.results, timing
 
 
 def parallel_map(
@@ -290,9 +805,12 @@ def parallel_map(
     jobs: int | None = None,
     chunksize: int | None = None,
     label: str = "sweep",
+    policy: TaskPolicy | None = None,
+    chaos: ChaosPolicy | None = None,
 ) -> list[R]:
     """:func:`run_sweep` without the timing handle (it is still recorded)."""
     results, _ = run_sweep(
-        fn, items, jobs=jobs, chunksize=chunksize, label=label
+        fn, items, jobs=jobs, chunksize=chunksize, label=label,
+        policy=policy, chaos=chaos,
     )
     return results

@@ -119,10 +119,30 @@ def _render_markdown(data: dict) -> str:
             ["sweep", "tasks", "jobs", "cpu (s)", "wall (s)", "speedup"],
             [
                 [t["label"], t["tasks"], t["jobs"], t["cpu_s"], t["wall_s"],
-                 f"{t['speedup']:.2f}x"]
+                 "—" if t["wall_s"] <= 0 or t["tasks"] == 0
+                 else f"{t['speedup']:.2f}x"]
                 for t in data["sweep_timings"]
             ],
         ))
+        disturbed = [
+            t for t in data["sweep_timings"]
+            if t.get("failures") or t.get("retries") or t.get("timeouts")
+            or t.get("pool_rebuilds") or t.get("resumed_tasks")
+            or t.get("degraded")
+        ]
+        if disturbed:
+            sections.append(format_table(
+                "Sweep resilience (failures, retries, recovery)",
+                ["sweep", "failures", "retries", "timeouts",
+                 "pool rebuilds", "resumed", "degraded"],
+                [
+                    [t["label"], t.get("failures", 0), t.get("retries", 0),
+                     t.get("timeouts", 0), t.get("pool_rebuilds", 0),
+                     t.get("resumed_tasks", 0),
+                     "yes" if t.get("degraded") else "no"]
+                    for t in disturbed
+                ],
+            ))
     metrics = data.get("metrics") or {}
     counters = metrics.get("counters") or {}
     if counters:

@@ -188,6 +188,19 @@ class SimTask:
     checker: CheckerCoreConfig | None = None
     checker_peak_ratio: float = 1.0
 
+    def task_key(self) -> str:
+        """A human-readable, stable identity for sweep checkpoints.
+
+        The leading fields name the simulation; the trailing ``repr``
+        covers every remaining knob, so any parameter change produces a
+        different key and a resumed sweep never reuses a stale result.
+        """
+        return (
+            f"{self.kind}:{self.profile.name}:{self.chip.value}:"
+            f"w{self.window.warmup}+{self.window.measured}:s{self.seed}:"
+            f"{self.policy.value}:{repr(self)}"
+        )
+
 
 def run_sim_task(task: SimTask) -> LeadingRunResult | RmtTimingResult:
     """Execute one :class:`SimTask` (the engine's worker function)."""

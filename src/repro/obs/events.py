@@ -50,12 +50,20 @@ _SINK: "EventSink | None" = None
 _GIT_SHA: str | None | bool = False  # False = not yet probed
 
 
-def begin_run(command: str | None = None) -> str:
-    """Start a new run; returns its process-unique id."""
+def begin_run(command: str | None = None, run_id: str | None = None) -> str:
+    """Start a new run; returns its process-unique id.
+
+    Passing ``run_id`` adopts an existing identity instead of minting a
+    new one — the resume path (``repro ... --resume <run_id>``) uses it
+    so a continued run lands in the same checkpoint directory and its
+    sweeps merge with the original run's accounting.
+    """
     global _CURRENT_RUN_ID
-    run_id = f"run-{os.getpid()}-{next(_RUN_SEQ):04d}"
+    resumed = run_id is not None
+    if run_id is None:
+        run_id = f"run-{os.getpid()}-{next(_RUN_SEQ):04d}"
     _CURRENT_RUN_ID = run_id
-    emit("run_begin", run_id=run_id, command=command)
+    emit("run_begin", run_id=run_id, command=command, resumed=resumed)
     return run_id
 
 

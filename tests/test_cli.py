@@ -1,9 +1,14 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
+from repro import cli
 from repro.cli import build_parser, main
+from repro.common import memo
 from repro.common.tables import format_table
+from repro.experiments import engine
 
 
 class TestParser:
@@ -92,6 +97,86 @@ class TestCommands:
     def test_report(self, tmp_path, capsys):
         assert main(["report", "--out", str(tmp_path), "--window", "3000"]) == 0
         assert (tmp_path / "results.json").exists()
+
+
+class TestResilience:
+    def test_parser_accepts_resilience_flags(self):
+        args = build_parser().parse_args([
+            "fig6", "--retries", "2", "--task-timeout", "1.5",
+            "--no-fail-fast", "--checkpoint", "--resume", "run-1",
+            "--chaos", "kill:0.1,seed:3",
+        ])
+        assert args.retries == 2
+        assert args.task_timeout == 1.5
+        assert args.fail_fast is False
+        assert args.checkpoint == ".repro/checkpoints"
+        assert args.resume == "run-1"
+        assert args.chaos == "kill:0.1,seed:3"
+
+    def test_checkpoint_accepts_explicit_dir(self, tmp_path):
+        args = build_parser().parse_args(
+            ["list", "--checkpoint", str(tmp_path / "ck")]
+        )
+        assert args.checkpoint == str(tmp_path / "ck")
+
+    def test_repro_error_exits_2(self, capsys):
+        assert main(["list", "--jobs", "0"]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_bad_chaos_spec_exits_2(self, capsys):
+        assert main(["list", "--chaos", "explode:1"]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        def _interrupt(_args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli._COMMANDS, "vias", _interrupt)
+        assert main(["vias"]) == 130
+        assert "interrupted" in capsys.readouterr().out
+
+    def test_interrupt_with_checkpoint_prints_resume_hint(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        def _interrupt(_args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli._COMMANDS, "vias", _interrupt)
+        assert main(
+            ["vias", "--checkpoint", str(tmp_path / "ck")]
+        ) == 130
+        assert "--resume" in capsys.readouterr().out
+
+    def test_checkpoint_resume_end_to_end(self, tmp_path, capsys):
+        """A checkpointed fig6 run resumed under its run id re-executes
+        nothing and reproduces the manifest metrics exactly."""
+        ck = tmp_path / "ck"
+        m1 = tmp_path / "m1.json"
+        m2 = tmp_path / "m2.json"
+        memo.clear_cache()
+        engine.clear_timings()
+        assert main([
+            "fig6", "--benchmarks", "gzip", "--window", "2000",
+            "--jobs", "1", "--checkpoint", str(ck), "--metrics", str(m1),
+        ]) == 0
+        manifest1 = json.loads(m1.read_text())
+        run_id = manifest1["run_id"]
+        assert manifest1["sweeps"][0]["resumed_tasks"] == 0
+        # A real resume happens in a fresh process; clear the in-process
+        # sweep registry so the two runs' accounting stays apart.
+        engine.clear_timings()
+        memo.clear_cache()
+        assert main([
+            "fig6", "--benchmarks", "gzip", "--window", "2000",
+            "--jobs", "1", "--checkpoint", str(ck),
+            "--resume", run_id, "--metrics", str(m2),
+        ]) == 0
+        manifest2 = json.loads(m2.read_text())
+        assert manifest2["run_id"] == run_id
+        sweep = manifest2["sweeps"][0]
+        assert sweep["tasks"] == 4
+        assert sweep["resumed_tasks"] == 4
+        assert manifest2["metrics"] == manifest1["metrics"]
 
 
 def test_format_table_alignment():

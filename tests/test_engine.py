@@ -81,6 +81,9 @@ class TestRunSweep:
         results, timing = run_sweep(_square, [], jobs=4)
         assert results == []
         assert timing.tasks == 0
+        assert timing.empty
+        # Zero-task sweeps are not recorded, so reports never show them.
+        assert engine.timings() == []
 
     def test_timing_recorded(self):
         parallel_map(_square, range(6), jobs=1, label="squares")
@@ -102,7 +105,20 @@ class TestRunSweep:
             label="x", jobs=2, task_wall_s=[1.0, 1.0], wall_s=1.0
         )
         assert timing.speedup == pytest.approx(2.0)
-        assert dataclasses.replace(timing, wall_s=0.0).speedup == 1.0
+        # A degenerate (sub-resolution) wall clock must not report the
+        # misleading 1.0 of old: the division is epsilon-guarded and the
+        # summary renders such sweeps as "—".
+        degenerate = dataclasses.replace(timing, wall_s=0.0)
+        assert degenerate.speedup > 1e6
+        empty = SweepTiming(label="x", jobs=1)
+        assert empty.speedup == 0.0
+
+    def test_degenerate_sweep_renders_dash(self):
+        engine._TIMINGS.append(SweepTiming(
+            label="degenerate", jobs=1, task_wall_s=[0.5], wall_s=0.0
+        ))
+        lines = engine.format_timing_summary().splitlines()
+        assert any("degenerate" in line and "—" in line for line in lines)
 
 
 class TestDeterminism:

@@ -423,4 +423,6 @@ class TestSweepTimingCompat:
         assert timing.speedup == pytest.approx(2.0)
         assert timing.run_id == ""
         assert timing.metrics is None
-        assert dataclasses.replace(timing, wall_s=0.0).speedup == 1.0
+        # Degenerate wall clocks report a huge-but-finite ratio now, not
+        # a misleading 1.0 (rendered as "—" by format_timing_summary).
+        assert dataclasses.replace(timing, wall_s=0.0).speedup > 1e6

@@ -1,0 +1,167 @@
+"""Columnar trace pipeline speedups, recorded to ``BENCH_trace.json``.
+
+Two measurements, both against the per-instruction reference paths that
+the vectorized kernels replaced (and which remain in-tree as the
+bit-identity oracles):
+
+* **generation** — ``TraceGenerator.generate_arrays`` vs the
+  ``_generate_chunk_reference`` loop, same instruction budget;
+* **fig6 end-to-end** — ``fig6_performance`` on the columnar pipeline vs
+  the legacy pipeline (object generation, per-address preload, object
+  scheduling), restored via monkeypatching for the duration of the run.
+
+Both comparisons also assert bit-identical results — the speedup only
+counts because nothing changed.
+"""
+
+import dataclasses
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+from conftest import BENCH_WINDOW, print_table
+
+from repro.common import memo
+from repro.core.leading import LeadingCoreTiming
+from repro.core.memory import MemoryHierarchy
+from repro.core.rmt import RmtSimulator
+from repro.experiments.perf import fig6_performance
+from repro.isa.soa import TraceArrays
+from repro.isa.trace import TraceGenerator
+from repro.workloads.profiles import get_profile
+
+_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_trace.json"
+_GEN_INSTRUCTIONS = 200_000
+_FIG6_SUBSET = ("gzip", "mcf")
+
+
+@contextmanager
+def _legacy_pipeline():
+    """Swap the vectorized hot paths for their per-instruction references
+    (generation, cache preload, and scheduling), i.e. the pre-columnar
+    pipeline, for the duration of the block."""
+    saved = (
+        TraceGenerator._generate_chunk,
+        MemoryHierarchy.preload_profile,
+        LeadingCoreTiming.run,
+        RmtSimulator.run,
+    )
+
+    def reference_chunk(self, count):
+        return TraceArrays.from_instructions(
+            self._generate_chunk_reference(count)
+        )
+
+    def reference_preload(self, profile):
+        self._preload_profile_reference(profile)
+        self.l1i.stats.reset()
+        self.l1d.stats.reset()
+        self.l2.stats.reset()
+
+    def object_leading_run(self, trace, warmup=0):
+        if isinstance(trace, TraceArrays):
+            trace = trace.to_instructions()
+        return saved[2](self, trace, warmup)
+
+    def object_rmt_run(self, trace, warmup=0):
+        if isinstance(trace, TraceArrays):
+            trace = trace.to_instructions()
+        return saved[3](self, trace, warmup)
+
+    TraceGenerator._generate_chunk = reference_chunk
+    MemoryHierarchy.preload_profile = reference_preload
+    LeadingCoreTiming.run = object_leading_run
+    RmtSimulator.run = object_rmt_run
+    try:
+        yield
+    finally:
+        (
+            TraceGenerator._generate_chunk,
+            MemoryHierarchy.preload_profile,
+            LeadingCoreTiming.run,
+            RmtSimulator.run,
+        ) = saved
+
+
+@pytest.mark.slow
+def test_trace_kernel_speedups(benchmark):
+    profile = get_profile("gzip")
+
+    # -- trace generation ----------------------------------------------
+    # Full 8192-instruction chunks with a trim, exactly like
+    # ``generate_arrays`` — prefix stability holds at chunk granularity.
+    start = time.perf_counter()
+    reference_trace = []
+    reference_gen = TraceGenerator(profile, seed=42)
+    while len(reference_trace) < _GEN_INSTRUCTIONS:
+        reference_trace.extend(reference_gen._generate_chunk_reference(8192))
+    reference_trace = reference_trace[:_GEN_INSTRUCTIONS]
+    generation_reference_s = time.perf_counter() - start
+
+    def columnar_generation():
+        return TraceGenerator(profile, seed=42).generate_arrays(
+            _GEN_INSTRUCTIONS
+        )
+
+    start = time.perf_counter()
+    columnar_trace = benchmark.pedantic(
+        columnar_generation, rounds=1, iterations=1
+    )
+    generation_columnar_s = time.perf_counter() - start
+    assert columnar_trace == TraceArrays.from_instructions(reference_trace)
+    generation_speedup = generation_reference_s / generation_columnar_s
+
+    # -- fig6 end-to-end ------------------------------------------------
+    subset = [get_profile(name) for name in _FIG6_SUBSET]
+    memo.clear_cache()
+    with _legacy_pipeline():
+        start = time.perf_counter()
+        legacy_rows = fig6_performance(
+            window=BENCH_WINDOW, benchmarks=subset, jobs=1
+        )
+        fig6_legacy_s = time.perf_counter() - start
+    memo.clear_cache()
+    start = time.perf_counter()
+    columnar_rows = fig6_performance(
+        window=BENCH_WINDOW, benchmarks=subset, jobs=1
+    )
+    fig6_columnar_s = time.perf_counter() - start
+    assert [dataclasses.asdict(r) for r in columnar_rows] == [
+        dataclasses.asdict(r) for r in legacy_rows
+    ]
+    fig6_speedup = fig6_legacy_s / fig6_columnar_s
+
+    print_table(
+        "Columnar trace pipeline speedups",
+        ["stage", "reference (s)", "columnar (s)", "speedup"],
+        [
+            ["generation", round(generation_reference_s, 3),
+             round(generation_columnar_s, 3),
+             f"{generation_speedup:.1f}x"],
+            ["fig6 end-to-end", round(fig6_legacy_s, 3),
+             round(fig6_columnar_s, 3), f"{fig6_speedup:.1f}x"],
+        ],
+    )
+
+    _RESULT_PATH.write_text(json.dumps({
+        "generation": {
+            "instructions": _GEN_INSTRUCTIONS,
+            "reference_s": round(generation_reference_s, 4),
+            "columnar_s": round(generation_columnar_s, 4),
+            "speedup": round(generation_speedup, 2),
+        },
+        "fig6_end_to_end": {
+            "benchmarks": list(_FIG6_SUBSET),
+            "warmup": BENCH_WINDOW.warmup,
+            "measured": BENCH_WINDOW.measured,
+            "legacy_s": round(fig6_legacy_s, 4),
+            "columnar_s": round(fig6_columnar_s, 4),
+            "speedup": round(fig6_speedup, 2),
+        },
+    }, indent=2) + "\n")
+
+    # Acceptance floors for the PR; the measured margins are far larger.
+    assert generation_speedup >= 3.0
+    assert fig6_speedup >= 1.5

@@ -19,6 +19,8 @@ the paper's reported mean L2 hit latencies (18 cycles for ``2d-a``,
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.common.config import ChipModel, NucaConfig, NucaPolicy
 from repro.common.errors import ConfigError
 from repro.common.stats import StatGroup
@@ -224,6 +226,56 @@ class NucaCache:
         latency = tag_latency + self._bank_latency(bank)
         return AccessResult(False, latency + self.memory_latency_cycles, bank)
 
+    def preload_lines(self, addresses) -> bool:
+        """Bulk-install distinct lines into an *empty* L2.
+
+        Vectorized equivalent of looping :meth:`access` over ``addresses``
+        (a NumPy integer array): starting empty with distinct lines, every
+        access misses, so each set ends up holding its last ``total_ways``
+        lines in access order.  Under distributed sets the bank is
+        ``set_index % num_banks``; under distributed ways the k-th miss of
+        a set lands in slot ``k % total_ways`` (fill ascending, then evict
+        the LRU front and reuse its slot).  Returns False when the fast
+        path's preconditions do not hold (non-empty cache, duplicate
+        lines, or contention modelling, whose sliding bank window the
+        batch form does not track) — the caller must then fall back.
+        """
+        if self.config.model_contention:
+            return False
+        if any(self._sets):
+            return False
+        lines = np.asarray(addresses) >> self._offset_bits
+        if np.unique(lines).size != lines.size:
+            return False
+        set_idx = lines % self._num_sets
+        order = np.argsort(set_idx, kind="stable")
+        sorted_sets = set_idx[order]
+        sorted_lines = lines[order]
+        counts = np.bincount(set_idx, minlength=self._num_sets)
+        group_start = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        position = np.arange(lines.size) - group_start[sorted_sets]
+        if self.config.policy is NucaPolicy.DISTRIBUTED_SETS:
+            slots = sorted_sets % self.config.num_banks
+            banks = set_idx % self.config.num_banks
+        else:
+            slots = position % self._total_ways
+            banks = np.array(self._data_banks, dtype=np.int64)[slots]
+        keep = position >= counts[sorted_sets] - self._total_ways
+        sets = self._sets
+        for s, line, slot in zip(
+            sorted_sets[keep].tolist(),
+            sorted_lines[keep].tolist(),
+            slots[keep].tolist(),
+        ):
+            sets[s].append((line, slot))
+        self._misses.increment(lines.size)
+        for bank, count in enumerate(
+            np.bincount(banks, minlength=self.config.num_banks).tolist()
+        ):
+            if count:
+                self._bank_accesses[bank].increment(count)
+        return True
+
     def _promote(self, ways: list[tuple[int, int]], index: int, slot: int) -> None:
         line, _ = ways[index]
         del ways[index]
@@ -253,6 +305,10 @@ class NucaCache:
     def average_hit_latency(self) -> float:
         """Mean latency of L2 hits (cycles)."""
         return self._latency.mean
+
+    def resident_lines(self) -> int:
+        """Number of lines currently resident (for invariant checks)."""
+        return sum(len(ways) for ways in self._sets)
 
     def bank_access_counts(self) -> list[int]:
         """Per-bank access counts (for the power model)."""

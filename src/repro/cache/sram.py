@@ -8,6 +8,8 @@ are a deterministic function of the address, see
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.common.config import CacheGeometry
 from repro.common.stats import StatGroup
 
@@ -74,6 +76,39 @@ class SetAssociativeCache:
             victim = ways.pop(0)
             return victim << self._offset_bits
         return None
+
+    def preload_lines(self, addresses) -> bool:
+        """Bulk-install distinct lines into an *empty* cache.
+
+        Equivalent to calling :meth:`access` on each address in order, but
+        computed as one vectorized pass: with an empty cache and distinct
+        lines every access misses, so the final LRU state of each set is
+        simply its last ``ways`` lines in access order.  Returns False
+        (caller must fall back to the loop) when the preconditions do not
+        hold.  ``addresses`` is a NumPy integer array.
+        """
+        if any(self._sets):
+            return False
+        lines = np.asarray(addresses) >> self._offset_bits
+        if np.unique(lines).size != lines.size:
+            return False
+        set_idx = lines % self._num_sets
+        order = np.argsort(set_idx, kind="stable")
+        sorted_sets = set_idx[order]
+        sorted_lines = lines[order]
+        counts = np.bincount(set_idx, minlength=self._num_sets)
+        group_start = np.concatenate(
+            [[0], np.cumsum(counts)[:-1]]
+        )
+        position = np.arange(lines.size) - group_start[sorted_sets]
+        keep = position >= counts[sorted_sets] - self.geometry.ways
+        sets = self._sets
+        for s, line in zip(
+            sorted_sets[keep].tolist(), sorted_lines[keep].tolist()
+        ):
+            sets[s].append(line)
+        self._misses.increment(lines.size)
+        return True
 
     def invalidate(self, address: int) -> bool:
         """Remove the line if present; return whether it was present."""

@@ -16,6 +16,7 @@ remains the canonical way to regenerate everything with assertions.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro.common.config import ChipModel
@@ -298,6 +299,23 @@ def _cmd_report(args) -> None:
     _say(f"wrote {args.out}/results.json and {args.out}/results.md")
 
 
+def _cmd_gc(args) -> None:
+    report = checkpoint_mod.gc_checkpoints(
+        args.dir,
+        keep_last=args.keep_last,
+        max_age_days=args.max_age_days,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    for run_id in report.removed:
+        _say(f"  {verb} {run_id}")
+    _say(
+        f"{verb} {len(report.removed)} run(s) "
+        f"({report.reclaimed_bytes / 1024:.1f} KiB), "
+        f"kept {len(report.kept)}"
+    )
+
+
 def _cmd_hetero(args) -> None:
     result = section4_heterogeneous(window=_window(args))
     _say(f"checker power : {result.checker_power_65nm_w:.1f} W (65nm) -> "
@@ -328,6 +346,7 @@ _COMMANDS = {
     "coverage": _cmd_coverage,
     "constraint": _cmd_constraint,
     "hetero": _cmd_hetero,
+    "gc": _cmd_gc,
     "report": _cmd_report,
     "thermalmap": _cmd_thermalmap,
     "presets": _cmd_presets,
@@ -357,23 +376,38 @@ def build_parser() -> argparse.ArgumentParser:
                 "--benchmarks", default=None,
                 help="comma-separated benchmark subset (default: full suite)",
             )
+        if name == "gc":
+            p.add_argument("--dir", default=".repro/checkpoints",
+                           metavar="DIR",
+                           help="checkpoint root to collect")
+            p.add_argument("--keep-last", type=int, default=None, metavar="N",
+                           help="keep the N most recently active runs")
+            p.add_argument("--max-age-days", type=float, default=None,
+                           metavar="DAYS",
+                           help="remove runs idle for more than DAYS")
+            p.add_argument("--dry-run", action="store_true",
+                           help="report what would be removed, delete "
+                                "nothing")
         p.add_argument("--window", type=int, default=20_000,
                        help="measured instructions per simulation")
         p.add_argument("--seed", type=int, default=42)
         p.add_argument("--jobs", type=int, default=None,
                        help="worker processes for sweeps (default: "
                             "REPRO_JOBS or cpu count)")
-        p.add_argument("--retries", type=int, default=0,
-                       help="re-executions allowed per failed sweep task")
+        p.add_argument("--retries", type=int, default=None,
+                       help="re-executions allowed per failed sweep task "
+                            "(default: REPRO_RETRIES or 0)")
         p.add_argument("--task-timeout", type=float, default=None,
                        metavar="SECONDS",
                        help="kill any single sweep task attempt that "
-                            "runs longer than this")
+                            "runs longer than this (default: "
+                            "REPRO_TASK_TIMEOUT or unlimited)")
         p.add_argument("--fail-fast", action=argparse.BooleanOptionalAction,
-                       default=True,
+                       default=None,
                        help="abort a sweep on the first exhausted task "
                             "(--no-fail-fast collects failures and "
-                            "returns None for their slots)")
+                            "returns None for their slots; default: "
+                            "fail fast)")
         p.add_argument("--checkpoint", nargs="?", const=".repro/checkpoints",
                        default=None, metavar="DIR",
                        help="persist completed sweep tasks under DIR "
@@ -419,11 +453,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     try:
         engine.set_default_jobs(args.jobs)
-        engine.set_default_policy(engine.TaskPolicy(
-            max_retries=args.retries,
-            timeout_s=args.task_timeout,
-            fail_fast=args.fail_fast,
-        ))
+        overrides = {
+            field: value
+            for field, value in (
+                ("max_retries", args.retries),
+                ("timeout_s", args.task_timeout),
+                ("fail_fast", args.fail_fast),
+            )
+            if value is not None
+        }
+        if overrides:
+            # CLI flags outrank the REPRO_RETRIES / REPRO_TASK_TIMEOUT
+            # env knobs but leave unflagged fields to them.
+            base = engine.policy_from_env() or engine.TaskPolicy()
+            engine.set_default_policy(dataclasses.replace(base, **overrides))
         if checkpoint_dir:
             checkpoint_mod.set_checkpoint_dir(checkpoint_dir)
             _say(f"checkpointing sweeps under {checkpoint_dir}/{run_id}")

@@ -7,12 +7,14 @@ inner loop (``fig6_performance`` regenerates the same trace four times
 per benchmark).  This module caches the artifacts that are safe to
 share and rebuilds the ones that are not:
 
-* **traces** — ``Instruction`` is ``__slots__``-only and treated as
-  immutable by every consumer, so one generated stream is shared.  The
-  generator is kept alive per ``(profile, seed)`` so a longer request
-  extends the existing stream instead of starting over (chunked
-  generation makes prefixes stable), and callers receive a *tuple* so
-  they cannot corrupt the shared artifact.
+* **traces** — stored columnar (:class:`~repro.isa.soa.TraceArrays`,
+  frozen read-only), so one generated stream is shared, shorter windows
+  are zero-copy slices, and pickling across the process pool ships nine
+  arrays instead of thousands of objects.  The generator is kept alive
+  per ``(profile, seed)`` so a longer request extends the existing
+  stream instead of starting over (chunked generation makes prefixes
+  stable).  Object consumers go through :meth:`ArtifactCache.trace`,
+  which materializes an immutable tuple of ``Instruction``.
 * **pretrained branch predictors** — pretraining replays thousands of
   outcomes through pure-Python tables; the cache trains once and hands
   out :meth:`~repro.core.branch.BranchPredictor.clone` copies, because
@@ -36,7 +38,7 @@ the warm cache gets hits).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.obs.metrics import get_registry
 from repro.workloads.profiles import WorkloadProfile
@@ -71,7 +73,7 @@ class MemoStats:
 @dataclass
 class _TraceEntry:
     generator: object
-    trace: list = field(default_factory=list)
+    arrays: object = None  # TraceArrays; grown by prefix-stable extension
 
 
 class ArtifactCache:
@@ -111,32 +113,48 @@ class ArtifactCache:
             stats.misses = 0
 
     # -- traces --------------------------------------------------------
-    def trace(self, profile: WorkloadProfile, seed: int, count: int) -> tuple:
-        """The first ``count`` instructions of ``(profile, seed)``'s stream.
+    def trace_arrays(self, profile: WorkloadProfile, seed: int, count: int):
+        """The first ``count`` instructions of ``(profile, seed)``'s stream
+        as a frozen (read-only) :class:`~repro.isa.soa.TraceArrays`.
 
-        Returns an immutable tuple over shared ``Instruction`` objects.  A
-        request longer than what is cached extends the live generator
-        (chunked generation keeps prefixes identical to a fresh
-        ``generate(count)``), so differing windows share one stream.
+        The columnar form is what the cache stores: extension for a longer
+        request is an array concat (chunked generation keeps prefixes
+        identical to a fresh ``generate_arrays(count)``), shorter requests
+        are zero-copy slices, and the frozen flag guarantees no consumer
+        can corrupt the shared stream.
         """
+        from repro.isa.soa import TraceArrays
         from repro.isa.trace import TraceGenerator
 
         key = (profile, seed)
         entry = self._traces.get(key)
         if entry is None:
-            entry = _TraceEntry(generator=TraceGenerator(profile, seed=seed))
+            entry = _TraceEntry(
+                generator=TraceGenerator(profile, seed=seed),
+                arrays=TraceArrays.empty(),
+            )
             self._traces[key] = entry
             if len(self._traces) > self._max_trace_entries:
                 self._traces.popitem(last=False)
         self._traces.move_to_end(key)
-        if len(entry.trace) >= count:
+        if len(entry.arrays) >= count:
             self._record("trace", hit=True)
         else:
             self._record("trace", hit=False)
-            entry.trace.extend(
-                entry.generator.generate(count - len(entry.trace))
+            extension = entry.generator.generate_arrays(
+                count - len(entry.arrays)
             )
-        return tuple(entry.trace[:count])
+            entry.arrays = TraceArrays.concat(
+                [entry.arrays, extension]
+            ).freeze()
+        return entry.arrays[:count]
+
+    def trace(self, profile: WorkloadProfile, seed: int, count: int) -> tuple:
+        """The first ``count`` instructions of ``(profile, seed)``'s stream
+        as an immutable tuple of ``Instruction`` objects (legacy adapter
+        over :meth:`trace_arrays`; object consumers like the fault-injection
+        harness still use this form)."""
+        return tuple(self.trace_arrays(profile, seed, count).to_instructions())
 
     # -- branch predictors ---------------------------------------------
     def pretrained_predictor(self, profile: WorkloadProfile, seed: int):

@@ -101,6 +101,20 @@ class BranchPredictor:
                 del ways[0]
         return mispredicted
 
+    def update_window(self, pcs, takens, targets) -> list[bool]:
+        """Resolve a window of branches in trace order.
+
+        Batch form of :meth:`update` for the columnar pipeline: the bound
+        method is hoisted once per window instead of looked up per branch.
+        State evolution and misprediction flags are identical to calling
+        :meth:`update` row by row.
+        """
+        update = self.update
+        return [
+            update(pc, taken, target)
+            for pc, taken, target in zip(pcs, takens, targets)
+        ]
+
     def clone(self) -> "BranchPredictor":
         """An independent copy with identical tables, history, and stats.
 

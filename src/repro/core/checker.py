@@ -15,9 +15,18 @@ from __future__ import annotations
 
 from repro.common.config import CheckerCoreConfig
 from repro.isa.instruction import Instruction
-from repro.isa.opcodes import EXECUTION_LATENCY, OpClass
+from repro.isa.opcodes import (
+    EXECUTION_LATENCY,
+    EXECUTION_LATENCY_BY_CODE,
+    OP_CODE,
+    POOL_BY_CODE,
+    OpClass,
+)
 
 __all__ = ["InOrderCheckerTiming"]
+
+# Checker FU capacities per pool code [IALU, IMUL, FALU, FMUL].
+_FU_CAP_BY_POOL = (4, 2, 1, 1)
 
 
 class InOrderCheckerTiming:
@@ -34,7 +43,7 @@ class InOrderCheckerTiming:
         self.set_frequency_ratio(frequency_ratio)
         self._cycle_start = 0.0   # leading-cycle time of the current trailing cycle
         self._slots_used = 0
-        self._fu_used: dict[OpClass, int] = {}
+        self._fu_used: dict[int, int] = {}  # pool code -> slots this cycle
         self._reg_ready: dict[int, float] = {}
         self._consumed = 0
         self._last_done = 0.0
@@ -64,20 +73,48 @@ class InOrderCheckerTiming:
         """Check instruction ``instr`` whose RVQ entry arrives at
         ``available_time`` (leading cycles); returns the check-commit time.
         """
-        pool = self._pool(instr.op)
+        code = OP_CODE[instr.op]
+        return self.consume_op(
+            POOL_BY_CODE[code],
+            instr.src1,
+            instr.src2,
+            instr.dst,
+            EXECUTION_LATENCY_BY_CODE[code],
+            available_time,
+        )
+
+    def consume_op(
+        self,
+        pool: int,
+        src1: int,
+        src2: int,
+        dst: int,
+        latency: int,
+        available_time: float,
+    ) -> float:
+        """Check one instruction given its resolved integer fields.
+
+        The columnar RMT path calls this directly with precomputed pool
+        codes and latencies; :meth:`consume` is the object adapter.
+        """
         earliest = available_time
         if not self.config.uses_register_value_prediction:
-            if instr.src1 >= 0:
-                earliest = max(earliest, self._reg_ready.get(instr.src1, 0.0))
-            if instr.src2 >= 0:
-                earliest = max(earliest, self._reg_ready.get(instr.src2, 0.0))
+            reg_ready = self._reg_ready
+            if src1 >= 0:
+                t = reg_ready.get(src1, 0.0)
+                if t > earliest:
+                    earliest = t
+            if src2 >= 0:
+                t = reg_ready.get(src2, 0.0)
+                if t > earliest:
+                    earliest = t
 
         if earliest >= self._cycle_start + self._cycle_len:
             # The trailer idles until the entry arrives; start a new cycle.
             self._new_cycle(earliest)
         while (
             self._slots_used >= self.config.issue_width
-            or self._fu_used.get(pool, 0) >= self._fu_capacity[pool]
+            or self._fu_used.get(pool, 0) >= _FU_CAP_BY_POOL[pool]
         ):
             self._new_cycle(self._cycle_start + self._cycle_len)
         self._slots_used += 1
@@ -86,11 +123,11 @@ class InOrderCheckerTiming:
         done = self._cycle_start + self._cycle_len
         # Check-commit times are monotone by construction; guard against
         # any residual clock-domain boundary effect.
-        done = max(done, self._last_done)
+        if done < self._last_done:
+            done = self._last_done
         self._last_done = done
-        if not self.config.uses_register_value_prediction and instr.writes_register:
-            latency = EXECUTION_LATENCY.get(instr.op, 1)
-            self._reg_ready[instr.dst] = done + (latency - 1) * self._cycle_len
+        if dst >= 0 and not self.config.uses_register_value_prediction:
+            self._reg_ready[dst] = done + (latency - 1) * self._cycle_len
         self._consumed += 1
         return done
 

@@ -17,6 +17,15 @@ This style of scheduler tracks the cycle-by-cycle simulators it abstracts
 closely for the quantities the paper's evaluation needs (relative IPC across
 L2 organizations, commit-time streams for the checker co-simulation) at a
 small fraction of the cost.
+
+Two entry points share one state machine (:meth:`LeadingCoreTiming._advance`):
+:meth:`~LeadingCoreTiming.schedule` feeds it one :class:`Instruction` at a
+time, and the columnar batch path (:meth:`~LeadingCoreTiming.run_arrays` /
+:meth:`~LeadingCoreTiming.prepare_window`) precomputes whole windows of
+memory latencies, fetch-line breaks and mispredict flags as NumPy passes
+first — legal because the cache and predictor access order is a pure
+function of the trace order, independent of the cycle timing — then drives
+the same state machine with plain ints.  Results are bit-identical.
 """
 
 from __future__ import annotations
@@ -24,18 +33,38 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.common.config import LeadingCoreConfig
 from repro.common.stats import StatGroup
 from repro.core.branch import BranchPredictor
 from repro.core.memory import MemoryHierarchy
 from repro.isa.instruction import Instruction
-from repro.isa.opcodes import EXECUTION_LATENCY, OpClass
+from repro.isa.opcodes import (
+    EXECUTION_LATENCY,
+    EXECUTION_LATENCY_BY_CODE,
+    OP_BRANCH,
+    OP_BY_CODE,
+    OP_CODE,
+    OP_FALU,
+    OP_FMUL,
+    OP_LOAD,
+    OP_STORE,
+    POOL_BY_CODE,
+    OpClass,
+)
+from repro.isa.soa import TraceArrays
 
-__all__ = ["LeadingCoreTiming", "LeadingRunResult"]
+__all__ = ["LeadingCoreTiming", "LeadingRunResult", "PreparedWindow"]
 
 # Front-end depth from fetch to dispatch (rename/decode stages).
 _FRONT_END_DEPTH = 4
 _PRUNE_PERIOD = 4096
+
+_POOL_ARR = np.array(POOL_BY_CODE, dtype=np.int64)
+_LATENCY_ARR = np.array(EXECUTION_LATENCY_BY_CODE, dtype=np.int64)
+# Pool codes index [IALU, IMUL, FALU, FMUL]; see POOL_BY_CODE.
+_POOL_OF = {op: POOL_BY_CODE[code] for op, code in OP_CODE.items()}
 
 
 @dataclass
@@ -52,8 +81,41 @@ class LeadingRunResult:
     op_counts: dict[str, int]
 
 
+@dataclass
+class PreparedWindow:
+    """Per-row columns for one batch-scheduled trace window.
+
+    Produced by :meth:`LeadingCoreTiming.prepare_window`; every field is a
+    plain Python list (one entry per row) so the scheduling loop touches no
+    NumPy scalars.  ``mispredicted`` is None for non-branches.  Memory and
+    predictor side effects have already been applied when this exists.
+    """
+
+    pool: list[int]
+    is_mem: list[bool]
+    is_fp: list[bool]
+    writes: list[bool]
+    dst: list[int]
+    src1: list[int]
+    src2: list[int]
+    fetch_add: list[int]
+    latency: list[int]
+    mispredicted: list[bool | None]
+
+    def __len__(self) -> int:
+        return len(self.pool)
+
+    def rows(self):
+        """Iterate rows as `_advance` argument tuples (sans commit gate)."""
+        return zip(
+            self.fetch_add, self.pool, self.is_mem, self.is_fp, self.writes,
+            self.dst, self.src1, self.src2, self.latency, self.mispredicted,
+        )
+
+
 class LeadingCoreTiming:
-    """Incremental OoO timing model; feed instructions via :meth:`schedule`."""
+    """Incremental OoO timing model; feed instructions via :meth:`schedule`
+    (object path) or whole traces via :meth:`run_arrays` (columnar path)."""
 
     def __init__(
         self,
@@ -72,9 +134,14 @@ class LeadingCoreTiming:
             OpClass.FALU: config.fp_alus,
             OpClass.FMUL: config.fp_mults,
         }
+        # Pool-code-indexed mirror used by the scheduling state machine.
+        self._fu_cap_by_pool = (
+            config.int_alus, config.int_mults, config.fp_alus, config.fp_mults,
+        )
+        self._mispredict_penalty = self.predictor.config.mispredict_penalty_cycles
         # Per-cycle structural usage maps, pruned periodically.
         self._issue_usage: dict[int, int] = {}
-        self._fu_usage: dict[tuple[int, OpClass], int] = {}
+        self._fu_usage: dict[tuple[int, int], int] = {}
 
         self._fetch_cycle = 0
         self._fetch_in_group = 0
@@ -101,67 +168,148 @@ class LeadingCoreTiming:
         ``commit_gate`` is the earliest cycle the instruction may commit
         (RVQ/StB backpressure from the RMT harness); 0 means unconstrained.
         """
-        cfg = self.config
-        self._op_counts[instr.op.value] += 1
+        op = instr.op
+        self._op_counts[op.value] += 1
+        code = OP_CODE[op]
 
-        # ---- fetch ----
-        if self._fetch_cycle < self._redirect_until:
-            self._fetch_cycle = self._redirect_until
-            self._fetch_in_group = 0
+        # I-cache access on fetch-line change; the stall feeds _advance.
+        fetch_add = 0
         line = instr.pc >> 6
         if line != self._last_fetch_line:
             self._last_fetch_line = line
             fetch_latency = self.memory.fetch_latency(instr.pc)
-            if fetch_latency > cfg.l1_icache.hit_latency_cycles:
-                self._fetch_cycle += fetch_latency
-                self._fetch_in_group = 0
+            if fetch_latency > self.config.l1_icache.hit_latency_cycles:
+                fetch_add = fetch_latency
+
+        if code == OP_LOAD:
+            latency = self.memory.load_latency(instr.address)
+        else:
+            latency = EXECUTION_LATENCY_BY_CODE[code]
+
+        mispredicted = None
+        if code == OP_BRANCH:
+            mispredicted = self.predictor.update(
+                instr.pc, instr.taken, instr.target
+            )
+
+        return self._advance(
+            fetch_add,
+            POOL_BY_CODE[code],
+            code == OP_LOAD or code == OP_STORE,
+            code == OP_FALU or code == OP_FMUL,
+            instr.dst >= 0,
+            instr.dst,
+            instr.src1,
+            instr.src2,
+            latency,
+            mispredicted,
+            commit_gate,
+            store_address=instr.address if code == OP_STORE else -1,
+        )
+
+    # ------------------------------------------------------------------
+    def _advance(
+        self,
+        fetch_add: int,
+        pool: int,
+        is_mem: bool,
+        is_fp: bool,
+        writes: bool,
+        dst: int,
+        src1: int,
+        src2: int,
+        latency: int,
+        mispredicted: bool | None,
+        commit_gate: int = 0,
+        store_address: int = -1,
+    ) -> int:
+        """The scheduling state machine: one instruction, already resolved.
+
+        All memory/predictor lookups have happened by the time this runs
+        (inline for :meth:`schedule`, in a window pre-pass for the columnar
+        path); what remains is pure integer cycle arithmetic over the
+        pipeline state.  ``fetch_add`` is the I-fetch stall in cycles (0 on
+        an I-cache hit or a same-line fetch); ``store_address`` >= 0 asks
+        this call to apply the store-commit cache access itself.
+        """
+        cfg = self.config
+
+        # ---- fetch ----
+        fetch_cycle = self._fetch_cycle
+        if fetch_cycle < self._redirect_until:
+            fetch_cycle = self._redirect_until
+            self._fetch_in_group = 0
+        if fetch_add:
+            fetch_cycle += fetch_add
+            self._fetch_in_group = 0
         if self._fetch_in_group >= cfg.fetch_width:
-            self._fetch_cycle += 1
+            fetch_cycle += 1
             self._fetch_in_group = 0
         self._fetch_in_group += 1
-        fetch_cycle = self._fetch_cycle
+        self._fetch_cycle = fetch_cycle
 
         # ---- dispatch (ROB / LSQ / issue-queue availability) ----
         dispatch = fetch_cycle + _FRONT_END_DEPTH
-        if len(self._rob_commits) == cfg.rob_size:
-            dispatch = max(dispatch, self._rob_commits[0] + 1)
-        if instr.op.is_memory and len(self._lsq_commits) == cfg.lsq_size:
-            dispatch = max(dispatch, self._lsq_commits[0] + 1)
-        issue_ring = self._fp_issues if instr.op.is_fp else self._int_issues
+        rob = self._rob_commits
+        if len(rob) == cfg.rob_size:
+            gated = rob[0] + 1
+            if gated > dispatch:
+                dispatch = gated
+        if is_mem and len(self._lsq_commits) == cfg.lsq_size:
+            gated = self._lsq_commits[0] + 1
+            if gated > dispatch:
+                dispatch = gated
+        issue_ring = self._fp_issues if is_fp else self._int_issues
         if len(issue_ring) == issue_ring.maxlen:
-            dispatch = max(dispatch, issue_ring[0] + 1)
+            gated = issue_ring[0] + 1
+            if gated > dispatch:
+                dispatch = gated
 
         # ---- operand readiness ----
         ready = dispatch + 1
-        if instr.src1 >= 0:
-            ready = max(ready, self._rename.get(instr.src1, 0))
-        if instr.src2 >= 0:
-            ready = max(ready, self._rename.get(instr.src2, 0))
+        rename = self._rename
+        if src1 >= 0:
+            t = rename.get(src1, 0)
+            if t > ready:
+                ready = t
+        if src2 >= 0:
+            t = rename.get(src2, 0)
+            if t > ready:
+                ready = t
 
         # ---- issue (structural hazards) ----
-        issue = self._find_issue_cycle(ready, instr.op)
+        cap = self._fu_cap_by_pool[pool]
+        width = cfg.dispatch_width
+        issue_usage = self._issue_usage
+        fu_usage = self._fu_usage
+        issue = ready
+        while True:
+            if (
+                issue_usage.get(issue, 0) < width
+                and fu_usage.get((issue, pool), 0) < cap
+            ):
+                issue_usage[issue] = issue_usage.get(issue, 0) + 1
+                key = (issue, pool)
+                fu_usage[key] = fu_usage.get(key, 0) + 1
+                break
+            issue += 1
         issue_ring.append(issue)
 
         # ---- execute ----
-        if instr.is_load:
-            latency = self.memory.load_latency(instr.address)
-        else:
-            latency = EXECUTION_LATENCY[instr.op]
         complete = issue + latency
-
-        if instr.writes_register:
-            self._rename[instr.dst] = complete
+        if writes:
+            rename[dst] = complete
 
         # ---- branch resolution ----
-        if instr.is_branch:
-            mispredicted = self.predictor.update(instr.pc, instr.taken, instr.target)
-            if mispredicted:
-                self._redirect_until = (
-                    complete + self.predictor.config.mispredict_penalty_cycles
-                )
+        if mispredicted:
+            self._redirect_until = complete + self._mispredict_penalty
 
         # ---- in-order commit ----
-        commit = max(complete + 1, self._last_commit_cycle, commit_gate)
+        commit = complete + 1
+        if self._last_commit_cycle > commit:
+            commit = self._last_commit_cycle
+        if commit_gate > commit:
+            commit = commit_gate
         if commit == self._last_commit_cycle:
             if self._commits_in_cycle >= cfg.commit_width:
                 commit += 1
@@ -172,11 +320,11 @@ class LeadingCoreTiming:
             self._commits_in_cycle = 1
         self._last_commit_cycle = commit
 
-        self._rob_commits.append(commit)
-        if instr.op.is_memory:
+        rob.append(commit)
+        if is_mem:
             self._lsq_commits.append(commit)
-            if instr.is_store:
-                self.memory.store_commit(instr.address)
+            if store_address >= 0:
+                self.memory.store_commit(store_address)
 
         self._scheduled += 1
         self._last_commit = commit
@@ -185,13 +333,127 @@ class LeadingCoreTiming:
         return commit
 
     # ------------------------------------------------------------------
-    def _find_issue_cycle(self, earliest: int, op: OpClass) -> int:
-        pool = (
-            OpClass.IALU
-            if op in (OpClass.LOAD, OpClass.STORE, OpClass.BRANCH)
-            else op
+    def prepare_window(
+        self, arrays: TraceArrays, start: int, end: int
+    ) -> PreparedWindow:
+        """Resolve a trace window's per-row columns for batch scheduling.
+
+        Applies every cache access and predictor update for rows
+        ``[start, end)`` in exact trace order — legal to do ahead of the
+        cycle arithmetic because those state machines see only the address
+        and outcome streams, never the timing.  The event interleaving
+        matches the object path: per row, the I-fetch access (on a line
+        break) precedes the data access; stores touch L1D only.
+        """
+        ops = arrays.op[start:end]
+        pc = arrays.pc[start:end]
+        address = arrays.address[start:end]
+        n = len(ops)
+        if n == 0:
+            empty: list = []
+            return PreparedWindow(*([empty[:] for _ in range(10)]))
+
+        is_load = ops == OP_LOAD
+        is_store = ops == OP_STORE
+        is_branch = ops == OP_BRANCH
+        is_mem = is_load | is_store
+
+        # Fetch-line breaks (carrying the last line across windows).
+        lines = pc >> 6
+        prev_lines = np.concatenate([[self._last_fetch_line], lines[:-1]])
+        breaks = lines != prev_lines
+        self._last_fetch_line = int(lines[-1])
+
+        # One merged event stream keeps the hierarchy's access order
+        # identical to the object path: fetch (key 2r) before data (2r+1).
+        fetch_rows = np.nonzero(breaks)[0]
+        mem_rows = np.nonzero(is_mem)[0]
+        keys = np.concatenate([2 * fetch_rows, 2 * mem_rows + 1])
+        kinds = np.concatenate(
+            [
+                np.zeros(fetch_rows.size, dtype=np.int64),
+                np.where(is_store[mem_rows], 2, 1),
+            ]
         )
-        cap = self._fu_capacity[pool]
+        event_addrs = np.concatenate([pc[fetch_rows], address[mem_rows]])
+        order = np.argsort(keys)  # keys are unique: plain sort is stable here
+        latencies = np.array(
+            self.memory.access_window(
+                kinds[order].tolist(), event_addrs[order].tolist()
+            ),
+            dtype=np.int64,
+        )
+        sorted_rows = keys[order] >> 1
+        sorted_kinds = kinds[order]
+
+        fetch_lat = np.zeros(n, dtype=np.int64)
+        fmask = sorted_kinds == 0
+        fetch_lat[sorted_rows[fmask]] = latencies[fmask]
+        i_hit = self.config.l1_icache.hit_latency_cycles
+        fetch_add = np.where(fetch_lat > i_hit, fetch_lat, 0)
+
+        load_lat = np.zeros(n, dtype=np.int64)
+        lmask = sorted_kinds == 1
+        load_lat[sorted_rows[lmask]] = latencies[lmask]
+        latency = np.where(is_load, load_lat, _LATENCY_ARR[ops])
+
+        # Branch resolution pre-pass (predictor state is trace-ordered).
+        branch_rows = np.nonzero(is_branch)[0]
+        mispredicted: list[bool | None] = [None] * n
+        if branch_rows.size:
+            flags = self.predictor.update_window(
+                pc[branch_rows].tolist(),
+                arrays.taken[start:end][branch_rows].tolist(),
+                arrays.target[start:end][branch_rows].tolist(),
+            )
+            for row, flag in zip(branch_rows.tolist(), flags):
+                mispredicted[row] = flag
+
+        for code, count in enumerate(np.bincount(ops, minlength=7).tolist()):
+            if count:
+                self._op_counts[OP_BY_CODE[code].value] += count
+
+        dst = arrays.dst[start:end]
+        return PreparedWindow(
+            pool=_POOL_ARR[ops].tolist(),
+            is_mem=is_mem.tolist(),
+            is_fp=((ops == OP_FALU) | (ops == OP_FMUL)).tolist(),
+            writes=(dst >= 0).tolist(),
+            dst=dst.tolist(),
+            src1=arrays.src1[start:end].tolist(),
+            src2=arrays.src2[start:end].tolist(),
+            fetch_add=fetch_add.tolist(),
+            latency=latency.tolist(),
+            mispredicted=mispredicted,
+        )
+
+    def run_arrays(
+        self, arrays: TraceArrays, warmup: int = 0
+    ) -> LeadingRunResult:
+        """Columnar counterpart of :meth:`run` — bit-identical results.
+
+        Windowed at the warmup boundary so the measurement snapshot sees
+        exactly the same cache/predictor state as the object path.
+        """
+        if warmup:
+            self._run_window(arrays, 0, warmup)
+            self.start_measurement()
+        self._run_window(arrays, warmup, len(arrays))
+        return self.result(len(arrays) - warmup)
+
+    def _run_window(self, arrays: TraceArrays, start: int, end: int) -> None:
+        if end <= start:
+            return
+        prepared = self.prepare_window(arrays, start, end)
+        advance = self._advance
+        for row in prepared.rows():
+            advance(*row)
+
+    # ------------------------------------------------------------------
+    def _find_issue_cycle(self, earliest: int, op: OpClass) -> int:
+        """Legacy entry point; the logic lives inline in :meth:`_advance`."""
+        pool = _POOL_OF[op]
+        cap = self._fu_cap_by_pool[pool]
         width = self.config.dispatch_width
         cycle = earliest
         while True:
@@ -215,13 +477,15 @@ class LeadingCoreTiming:
         }
 
     # ------------------------------------------------------------------
-    def run(self, trace: list[Instruction], warmup: int = 0) -> LeadingRunResult:
+    def run(self, trace, warmup: int = 0) -> LeadingRunResult:
         """Schedule a whole trace (no RMT backpressure) and summarise.
 
         The first ``warmup`` instructions train the caches and predictor but
         are excluded from the reported statistics (SimPoint-style
-        measurement window).
+        measurement window).  Columnar traces take the batch path.
         """
+        if isinstance(trace, TraceArrays):
+            return self.run_arrays(trace, warmup)
         for instr in trace[:warmup]:
             self.schedule(instr)
         if warmup:

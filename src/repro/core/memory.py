@@ -9,6 +9,8 @@ caches carry no data).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.cache.nuca import NucaCache, bank_hops_for_model
 from repro.cache.sram import SetAssociativeCache
 from repro.common.config import ChipModel, LeadingCoreConfig, NucaConfig
@@ -54,13 +56,92 @@ class MemoryHierarchy:
         """Install a committed (checked) store into the hierarchy."""
         self.l1d.access(address)
 
+    FETCH, LOAD, STORE = 0, 1, 2  # access_window event kinds
+
+    def access_window(self, kinds: list[int], addresses: list[int]) -> list[int]:
+        """Apply a trace-ordered batch of hierarchy accesses.
+
+        ``kinds[i]`` selects :meth:`fetch_latency` (``FETCH``),
+        :meth:`load_latency` (``LOAD``) or :meth:`store_commit` (``STORE``)
+        for ``addresses[i]``; returns the per-event latency (0 for stores).
+        One loop with hoisted bound methods replaces three attribute-chain
+        lookups per event — state evolution is identical to issuing the
+        calls one at a time, which is what lets the columnar scheduler
+        pre-resolve a whole window's memory behaviour.
+        """
+        l1i_access = self.l1i.access
+        l1d_access = self.l1d.access
+        l2_access = self.l2.access
+        i_hit = self.core_config.l1_icache.hit_latency_cycles
+        d_hit = self.core_config.l1_dcache.hit_latency_cycles
+        out: list[int] = []
+        append = out.append
+        for kind, address in zip(kinds, addresses):
+            if kind == 1:
+                if l1d_access(address):
+                    append(d_hit)
+                else:
+                    append(d_hit + l2_access(address).latency_cycles)
+            elif kind == 0:
+                if l1i_access(address):
+                    append(i_hit)
+                else:
+                    append(
+                        i_hit + l2_access(address | (1 << 40)).latency_cycles
+                    )
+            else:
+                l1d_access(address)
+                append(0)
+        return out
+
     # ------------------------------------------------------------------
     def preload_profile(self, profile) -> None:
         """Pre-install a workload's resident working set (SimPoint-style warm
         state): hot region into L1D+L2, warm and xl regions into L2, code
         into L1I.  Install order (xl, warm, hot) leaves the hottest lines in
         the LRU positions that survive when capacity is insufficient.
+
+        Uses the caches' bulk ``preload_lines`` fast path (all regions are
+        disjoint, so the lines are distinct and every access misses); falls
+        back to the per-address loop whenever a cache declines.
         """
+        line = self.l1d.geometry.line_bytes
+        l2_addrs = np.concatenate(
+            [
+                np.arange(base, base + size, line, dtype=np.int64)
+                for base, size in (
+                    (0x2000_0000, profile.xl_bytes if profile.p_xl > 0 else 0),
+                    (0x1000_0000, profile.warm_bytes),
+                    (0x0000_0000, profile.hot_bytes),
+                )
+            ]
+        )
+        hot_addrs = np.arange(0, profile.hot_bytes, line, dtype=np.int64)
+        code_addrs = np.arange(
+            0, profile.code_bytes, self.l1i.geometry.line_bytes, dtype=np.int64
+        )
+        # All-or-nothing: only take the fast path when every cache is
+        # empty, so a failure cannot leave the hierarchy half-installed.
+        fast = (
+            self.l2.resident_lines() == 0
+            and self.l1d.resident_lines() == 0
+            and self.l1i.resident_lines() == 0
+            and self.l2.preload_lines(l2_addrs)
+        )
+        if fast:
+            self.l1d.preload_lines(hot_addrs)
+            self.l1i.preload_lines(code_addrs)
+        else:
+            self._preload_profile_reference(profile)
+        # Preloading must not pollute the measured statistics.
+        self.l1i.stats.reset()
+        self.l1d.stats.reset()
+        self.l2.stats.reset()
+
+    def _preload_profile_reference(self, profile) -> None:
+        """Per-address preload loop — the semantics `preload_lines`
+        reproduces, and the fallback when its preconditions fail (warm
+        caches, duplicate lines, or L2 contention modelling)."""
         line = self.l1d.geometry.line_bytes
         for base, size in (
             (0x2000_0000, profile.xl_bytes if profile.p_xl > 0 else 0),
@@ -73,10 +154,6 @@ class MemoryHierarchy:
             self.l1d.access(addr)
         for pc in range(0, profile.code_bytes, self.l1i.geometry.line_bytes):
             self.l1i.access(pc)
-        # Preloading must not pollute the measured statistics.
-        self.l1i.stats.reset()
-        self.l1d.stats.reset()
-        self.l2.stats.reset()
 
     def l2_misses_per_10k(self, instructions: int) -> float:
         """L2 misses per 10k instructions (the Section 3.3 metric)."""

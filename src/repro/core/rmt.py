@@ -24,6 +24,14 @@ from repro.core.dfs import DfsController
 from repro.core.leading import LeadingCoreTiming, LeadingRunResult
 from repro.core.memory import MemoryHierarchy
 from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    EXECUTION_LATENCY_BY_CODE,
+    OP_BRANCH,
+    OP_LOAD,
+    OP_STORE,
+    POOL_BY_CODE,
+)
+from repro.isa.soa import TraceArrays
 from repro.obs.metrics import FRACTION_EDGES, get_registry
 
 __all__ = ["RmtSimulator", "RmtTimingResult"]
@@ -97,7 +105,8 @@ class RmtSimulator:
 
         self._commit_times: list[int] = []
         self._consume_times: list[float] = []
-        self._trace: list[Instruction] = []
+        self._trace: list[Instruction] | TraceArrays = []
+        self._consume_row = self._consume_row_object
         self._next_consume = 0
         self._load_indices: list[int] = []
         self._store_indices: list[int] = []
@@ -113,17 +122,23 @@ class RmtSimulator:
         self.queue_stalls = {"rvq": 0, "lvq": 0, "stb": 0, "boq": 0}
 
     # ------------------------------------------------------------------
-    def run(self, trace: list[Instruction], warmup: int = 0) -> RmtTimingResult:
+    def run(self, trace, warmup: int = 0) -> RmtTimingResult:
         """Co-simulate the full trace and return the timing summary.
 
         The first ``warmup`` instructions flow through both cores but are
-        excluded from the reported leading-core statistics.
+        excluded from the reported leading-core statistics.  Columnar
+        traces take the batch path.
         """
+        if isinstance(trace, TraceArrays):
+            return self.run_arrays(trace, warmup)
         self._trace = trace
+        self._consume_row = self._consume_row_object
         for i, instr in enumerate(trace):
             if i == warmup and warmup:
                 self.leading.start_measurement()
-            gate = self._commit_gate(i, instr)
+            gate = self._gate_for(
+                i, instr.is_load, instr.is_store, instr.is_branch
+            )
             commit = self.leading.schedule(instr, commit_gate=gate)
             self._commit_times.append(commit)
             if instr.is_load:
@@ -135,25 +150,83 @@ class RmtSimulator:
         self._consume_until(len(trace) - 1)
         return self._result(len(trace) - warmup)
 
+    def run_arrays(self, arrays: TraceArrays, warmup: int = 0) -> RmtTimingResult:
+        """Columnar co-simulation — bit-identical to :meth:`run`.
+
+        The leading core's memory/predictor behaviour is pre-resolved per
+        window (:meth:`LeadingCoreTiming.prepare_window`, split at the
+        warmup boundary so the measurement snapshot is unchanged); the
+        checker consumes precomputed integer columns lazily, driven by the
+        same queue-gating recurrence as the object path.
+        """
+        self._trace = arrays
+        ops = arrays.op
+        load_list = (ops == OP_LOAD).tolist()
+        store_list = (ops == OP_STORE).tolist()
+        branch_list = (ops == OP_BRANCH).tolist()
+        # Checker columns for lazy consumption (state depends only on the
+        # consume order, so precomputing per-row fields is free of hazards).
+        op_codes = ops.tolist()
+        self._c_pool = [POOL_BY_CODE[c] for c in op_codes]
+        self._c_latency = [EXECUTION_LATENCY_BY_CODE[c] for c in op_codes]
+        self._c_src1 = arrays.src1.tolist()
+        self._c_src2 = arrays.src2.tolist()
+        self._c_dst = arrays.dst.tolist()
+        self._consume_row = self._consume_row_columnar
+
+        n = len(arrays)
+        leading = self.leading
+        advance = leading._advance
+        gate_for = self._gate_for
+        commit_times = self._commit_times
+        load_indices = self._load_indices
+        store_indices = self._store_indices
+        branch_indices = self._branch_indices
+        i = 0
+        for start, end in ((0, min(warmup, n)), (min(warmup, n), n)):
+            if start == end:
+                continue
+            if start == warmup and warmup:
+                leading.start_measurement()
+            prepared = leading.prepare_window(arrays, start, end)
+            for row in prepared.rows():
+                gate = gate_for(i, load_list[i], store_list[i], branch_list[i])
+                commit = advance(*row, gate)
+                commit_times.append(commit)
+                if load_list[i]:
+                    load_indices.append(i)
+                elif store_list[i]:
+                    store_indices.append(i)
+                elif branch_list[i]:
+                    branch_indices.append(i)
+                i += 1
+        self._consume_until(n - 1)
+        return self._result(n - warmup)
+
     # ------------------------------------------------------------------
     def _commit_gate(self, i: int, instr: Instruction) -> int:
         """Earliest commit cycle for instruction ``i`` given queue space."""
-        gate = 0.0
+        return self._gate_for(i, instr.is_load, instr.is_store, instr.is_branch)
+
+    def _gate_for(
+        self, i: int, is_load: bool, is_store: bool, is_branch: bool
+    ) -> int:
+        """The queue-occupancy gating recurrence, on plain class flags."""
         needed = -1
         binding = "rvq"
         # RVQ: every instruction occupies one entry.
         if i >= self._rvq_capacity:
             needed = i - self._rvq_capacity
         # LVQ / BOQ / StB: per-class occupancy.
-        if instr.is_load and len(self._load_indices) >= self._lvq_capacity:
+        if is_load and len(self._load_indices) >= self._lvq_capacity:
             cand = self._load_indices[len(self._load_indices) - self._lvq_capacity]
             if cand > needed:
                 needed, binding = cand, "lvq"
-        elif instr.is_store and len(self._store_indices) >= self._stb_capacity:
+        elif is_store and len(self._store_indices) >= self._stb_capacity:
             cand = self._store_indices[len(self._store_indices) - self._stb_capacity]
             if cand > needed:
                 needed, binding = cand, "stb"
-        elif instr.is_branch and len(self._branch_indices) >= self._boq_capacity:
+        elif is_branch and len(self._branch_indices) >= self._boq_capacity:
             cand = self._branch_indices[len(self._branch_indices) - self._boq_capacity]
             if cand > needed:
                 needed, binding = cand, "boq"
@@ -169,13 +242,26 @@ class RmtSimulator:
 
     def _consume_until(self, index: int) -> None:
         """Run the checker over all instructions up to ``index`` inclusive."""
+        consume_row = self._consume_row
         while self._next_consume <= index:
             k = self._next_consume
             available = self._commit_times[k] + self.transfer_latency
             self._process_boundaries(available)
-            consume_time = self.checker.consume(self._trace[k], available)
-            self._consume_times.append(consume_time)
+            self._consume_times.append(consume_row(k, available))
             self._next_consume += 1
+
+    def _consume_row_object(self, k: int, available: float) -> float:
+        return self.checker.consume(self._trace[k], available)
+
+    def _consume_row_columnar(self, k: int, available: float) -> float:
+        return self.checker.consume_op(
+            self._c_pool[k],
+            self._c_src1[k],
+            self._c_src2[k],
+            self._c_dst[k],
+            self._c_latency[k],
+            available,
+        )
 
     def _process_boundaries(self, up_to_time: float) -> None:
         """Apply DFS interval boundaries that have passed."""

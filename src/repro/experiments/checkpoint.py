@@ -28,7 +28,12 @@ import hashlib
 import json
 import pickle
 import re
+import shutil
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
+
+from repro.common.errors import ConfigError
 
 __all__ = [
     "set_checkpoint_dir",
@@ -36,6 +41,8 @@ __all__ = [
     "task_key",
     "SweepCheckpoint",
     "open_sweep",
+    "GcReport",
+    "gc_checkpoints",
 ]
 
 _DIR: Path | None = None
@@ -133,3 +140,84 @@ def open_sweep(label: str, run_id: str) -> SweepCheckpoint | None:
         return None
     safe = re.sub(r"[^\w.-]+", "_", label) or "sweep"
     return SweepCheckpoint(_DIR / run_id / f"{safe}.jsonl")
+
+
+# ---------------------------------------------------------------------
+# Retention: checkpoints accumulate one directory per run id and nothing
+# ever removed them; ``repro gc`` applies a keep-last-N / max-age policy.
+
+
+@dataclass
+class GcReport:
+    """What one retention pass removed (or would remove, under dry-run)."""
+
+    removed: list[str] = field(default_factory=list)
+    kept: list[str] = field(default_factory=list)
+    reclaimed_bytes: int = 0
+    dry_run: bool = False
+
+
+def _run_mtime(run_dir: Path) -> float:
+    """A run's last activity: the newest mtime among its files (appends
+    touch the files, not the directory)."""
+    newest = run_dir.stat().st_mtime
+    for path in run_dir.rglob("*"):
+        try:
+            newest = max(newest, path.stat().st_mtime)
+        except OSError:
+            continue
+    return newest
+
+
+def _run_size(run_dir: Path) -> int:
+    return sum(
+        path.stat().st_size for path in run_dir.rglob("*") if path.is_file()
+    )
+
+
+def gc_checkpoints(
+    root: str | Path,
+    keep_last: int | None = None,
+    max_age_days: float | None = None,
+    dry_run: bool = False,
+) -> GcReport:
+    """Remove old checkpoint run directories under ``root``.
+
+    A run directory is removed when it falls outside the ``keep_last``
+    most recently active runs *or* its last activity is older than
+    ``max_age_days`` — at least one knob must be given.  Activity is the
+    newest file mtime inside the run, so a long sweep that is still
+    appending never looks stale.  With ``dry_run`` nothing is deleted;
+    the report lists what a real pass would reclaim.
+    """
+    if keep_last is None and max_age_days is None:
+        raise ConfigError(
+            "gc_checkpoints needs a retention policy: keep_last and/or "
+            "max_age_days"
+        )
+    if keep_last is not None and keep_last < 0:
+        raise ConfigError(f"keep_last must be >= 0, got {keep_last}")
+    if max_age_days is not None and max_age_days < 0:
+        raise ConfigError(f"max_age_days must be >= 0, got {max_age_days}")
+    report = GcReport(dry_run=dry_run)
+    root = Path(root)
+    if not root.is_dir():
+        return report
+    runs = sorted(
+        (path for path in root.iterdir() if path.is_dir()),
+        key=lambda path: (-_run_mtime(path), path.name),
+    )
+    now = time.time()
+    for rank, run_dir in enumerate(runs):
+        stale = (keep_last is not None and rank >= keep_last) or (
+            max_age_days is not None
+            and now - _run_mtime(run_dir) > max_age_days * 86400.0
+        )
+        if not stale:
+            report.kept.append(run_dir.name)
+            continue
+        report.removed.append(run_dir.name)
+        report.reclaimed_bytes += _run_size(run_dir)
+        if not dry_run:
+            shutil.rmtree(run_dir, ignore_errors=True)
+    return report

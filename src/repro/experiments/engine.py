@@ -57,7 +57,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
 from concurrent.futures import wait as futures_wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.common.errors import (
@@ -76,11 +76,15 @@ from repro.obs.metrics import MetricsSnapshot, get_registry, merge_snapshots
 
 __all__ = [
     "JOBS_ENV_VAR",
+    "RETRIES_ENV_VAR",
+    "TASK_TIMEOUT_ENV_VAR",
     "TaskPolicy",
     "SweepTiming",
     "resolve_jobs",
     "set_default_jobs",
     "set_default_policy",
+    "policy_from_env",
+    "resolve_policy",
     "parallel_map",
     "run_sweep",
     "run_metrics",
@@ -168,15 +172,55 @@ class TaskPolicy:
 _BASE_POLICY = TaskPolicy()
 _DEFAULT_POLICY: TaskPolicy | None = None
 
+RETRIES_ENV_VAR = "REPRO_RETRIES"
+TASK_TIMEOUT_ENV_VAR = "REPRO_TASK_TIMEOUT"
+
 
 def set_default_policy(policy: TaskPolicy | None) -> None:
     """Set the process-wide resilience policy (the CLI's retry flags).
 
     Applies to every sweep that does not pass ``policy`` explicitly;
-    ``None`` restores the no-retry, fail-fast default.
+    ``None`` restores the environment-derived (or base) default.
     """
     global _DEFAULT_POLICY
     _DEFAULT_POLICY = policy
+
+
+def policy_from_env() -> TaskPolicy | None:
+    """The resilience policy implied by ``REPRO_RETRIES`` /
+    ``REPRO_TASK_TIMEOUT``, or None when neither is set.
+
+    Mirrors ``REPRO_JOBS``: environment knobs sit below explicit
+    arguments and :func:`set_default_policy` (the CLI flags), above the
+    built-in default.  Re-read on every resolution so tests and long
+    processes see environment changes.
+    """
+    overrides: dict[str, object] = {}
+    raw = os.environ.get(RETRIES_ENV_VAR, "").strip()
+    if raw:
+        try:
+            overrides["max_retries"] = int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"{RETRIES_ENV_VAR} must be an integer, got {raw!r}"
+            ) from None
+    raw = os.environ.get(TASK_TIMEOUT_ENV_VAR, "").strip()
+    if raw:
+        try:
+            overrides["timeout_s"] = float(raw)
+        except ValueError:
+            raise ConfigError(
+                f"{TASK_TIMEOUT_ENV_VAR} must be a number, got {raw!r}"
+            ) from None
+    if not overrides:
+        return None
+    return replace(_BASE_POLICY, **overrides)
+
+
+def resolve_policy(policy: TaskPolicy | None = None) -> TaskPolicy:
+    """The effective policy: argument, then :func:`set_default_policy`,
+    then the environment knobs, then the built-in default."""
+    return policy or _DEFAULT_POLICY or policy_from_env() or _BASE_POLICY
 
 
 # ---------------------------------------------------------------------
@@ -629,6 +673,60 @@ def _run_serial(fn, chunks, policy, chaos, state: _SweepState) -> None:
             )
 
 
+# Controller-deadline slack over the serial worst case: covers dispatch,
+# pickling, and scheduler noise without masking a genuinely stuck worker.
+_DEADLINE_SLACK = 1.25
+_DEADLINE_GRACE_S = 2.0
+
+
+def _wave_budget(chunks, policy: TaskPolicy) -> float:
+    """Worst-case wall budget for one submission wave.
+
+    Every attempt of every entry at the per-attempt timeout plus maximal
+    backoffs, run *serially* — a pessimistic bound that stays valid
+    however the pool distributes chunks over workers (a queued chunk's
+    wait time is someone else's run time, already counted).  Only
+    meaningful when ``policy.timeout_s`` is set.
+    """
+    budget = 0.0
+    for chunk in chunks:
+        for _index, base, _item in chunk:
+            attempts = max(1, policy.max_retries + 1 - base)
+            budget += attempts * policy.timeout_s
+            budget += (attempts - 1) * policy.max_backoff_s * 1.5
+    return budget * _DEADLINE_SLACK + _DEADLINE_GRACE_S
+
+
+def _expire_wave(inflight: dict, policy: TaskPolicy, state: _SweepState) -> None:
+    """Declare every unfinished chunk of a wave timed out (the controller
+    backstop fired: the in-worker alarm never delivered a result inside
+    the wave's worst-case serial budget).  Raises ``SweepAbortedError``
+    via ``absorb`` under a fail-fast policy."""
+    expired = list(inflight.items())
+    inflight.clear()
+    events.emit(
+        "sweep_deadline_expired",
+        run_id=state.timing.run_id,
+        label=state.label,
+        unfinished_chunks=len(expired),
+        timeout_s=policy.timeout_s,
+    )
+    for future, chunk in expired:
+        future.cancel()
+        for index, base, _item in chunk:
+            state.absorb(_TaskOutcome(
+                index=index,
+                attempts=max(1, policy.max_retries + 1 - base),
+                timeouts=1,
+                error_kind="timeout",
+                error=(
+                    "controller deadline expired: task still unfinished "
+                    f"after the wave's worst-case budget "
+                    f"(per-attempt timeout {policy.timeout_s}s)"
+                ),
+            ))
+
+
 def _run_pooled(fn, chunks, jobs, policy, chaos, state: _SweepState) -> None:
     """Future-based chunk execution with broken-pool recovery.
 
@@ -636,6 +734,13 @@ def _run_pooled(fn, chunks, jobs, policy, chaos, state: _SweepState) -> None:
     the chunk from a cold cache exactly like the first worker did, so
     the re-produced metric deltas are bit-identical and nothing from the
     aborted pass survives (its results died with the worker).
+
+    When the policy carries a per-task timeout, the controller also arms
+    a wave-level deadline (:func:`_wave_budget`).  The in-worker alarm is
+    the primary enforcement, but it cannot fire inside C extensions and a
+    pathological task can swallow it; a wave that outlives the budget has
+    its unfinished chunks declared timed out and its workers terminated,
+    so no sweep can hang the controller indefinitely.
     """
     pending = list(chunks)
     rebuilds = 0
@@ -643,13 +748,21 @@ def _run_pooled(fn, chunks, jobs, policy, chaos, state: _SweepState) -> None:
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
         broken = False
         try:
+            deadline = None
+            if policy.timeout_s is not None:
+                deadline = time.monotonic() + _wave_budget(pending, policy)
             inflight = {
                 pool.submit(_run_chunk, fn, chunk, policy, chaos, True): chunk
                 for chunk in pending
             }
             pending = []
             while inflight:
-                done, _ = futures_wait(inflight, return_when=FIRST_COMPLETED)
+                wait_s = None
+                if deadline is not None:
+                    wait_s = max(0.0, deadline - time.monotonic())
+                done, _ = futures_wait(
+                    inflight, timeout=wait_s, return_when=FIRST_COMPLETED
+                )
                 for future in done:
                     chunk = inflight.pop(future)
                     try:
@@ -663,6 +776,14 @@ def _run_pooled(fn, chunks, jobs, policy, chaos, state: _SweepState) -> None:
                         continue
                     for outcome in outcomes:
                         state.absorb(outcome)
+                if (
+                    inflight
+                    and not done
+                    and deadline is not None
+                    and time.monotonic() >= deadline
+                ):
+                    _expire_wave(inflight, policy, state)
+                    _kill_pool_workers(pool)
         except BaseException:
             _kill_pool_workers(pool)
             raise
@@ -730,7 +851,7 @@ def run_sweep(
     records nothing, so reports never show zero-task sweeps.
     """
     tasks: Sequence[T] = list(items)
-    policy = policy or _DEFAULT_POLICY or _BASE_POLICY
+    policy = resolve_policy(policy)
     chaos = chaos if chaos is not None else chaos_mod.current_chaos()
     run_id = events.current_run_id()
     timing = SweepTiming(label=label, jobs=1, run_id=run_id)

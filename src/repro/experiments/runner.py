@@ -94,7 +94,7 @@ def _prepare(
         with span("sim.predictor"):
             predictor = cache.pretrained_predictor(profile, seed)
         with span("sim.trace"):
-            trace = cache.trace(profile, seed, window.total)
+            trace = cache.trace_arrays(profile, seed, window.total)
     return profile, leading, memory, predictor, trace
 
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.cache.nuca import NucaCache, bank_hops_for_model
 from repro.common.config import ChipModel, NucaConfig
 from repro.experiments import engine
+from repro.isa.opcodes import OP_LOAD, OP_STORE
 from repro.isa.trace import TraceGenerator
 from repro.workloads.profiles import WorkloadProfile, get_profile
 
@@ -41,9 +42,12 @@ class SharedCacheResult:
 
 def _memory_stream(profile: WorkloadProfile, count: int, seed: int, thread: int):
     generator = TraceGenerator(profile, seed=seed + thread)
-    for instr in generator.generate(count):
-        if instr.op.is_memory:
-            yield instr.address + thread * _THREAD_STRIDE
+    arrays = generator.generate_arrays(count)
+    ops = arrays.op
+    memory_rows = (ops == OP_LOAD) | (ops == OP_STORE)
+    base = thread * _THREAD_STRIDE
+    for address in arrays.address[memory_rows].tolist():
+        yield address + base
 
 
 def _preload_thread(cache: NucaCache, profile: WorkloadProfile, thread: int) -> None:

@@ -7,6 +7,7 @@ from repro.isa.instruction import (
     load_value_for_address,
 )
 from repro.isa.opcodes import EXECUTION_LATENCY, FunctionalUnitPool, OpClass
+from repro.isa.soa import TraceArrays
 from repro.isa.trace import TraceGenerator, generate_trace
 
 __all__ = [
@@ -17,6 +18,7 @@ __all__ = [
     "EXECUTION_LATENCY",
     "FunctionalUnitPool",
     "OpClass",
+    "TraceArrays",
     "TraceGenerator",
     "generate_trace",
 ]

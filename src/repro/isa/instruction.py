@@ -120,6 +120,22 @@ class Instruction:
         """True if the instruction produces a register result."""
         return self.dst >= 0
 
+    def _key(self) -> tuple:
+        return (
+            self.seq, self.op, self.dst, self.src1, self.src2, self.pc,
+            self.address, self.taken, self.target, self.hard_branch,
+        )
+
+    def __eq__(self, other) -> bool:
+        # Value equality: rows lazily materialized from a columnar trace
+        # (repro.isa.soa) compare equal to the eagerly built originals.
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
     def __repr__(self) -> str:
         return (
             f"Instruction(seq={self.seq}, op={self.op.value}, dst={self.dst}, "

@@ -9,7 +9,22 @@ from __future__ import annotations
 
 import enum
 
-__all__ = ["OpClass", "EXECUTION_LATENCY", "FunctionalUnitPool"]
+__all__ = [
+    "OpClass",
+    "EXECUTION_LATENCY",
+    "FunctionalUnitPool",
+    "OP_IALU",
+    "OP_IMUL",
+    "OP_FALU",
+    "OP_FMUL",
+    "OP_LOAD",
+    "OP_STORE",
+    "OP_BRANCH",
+    "OP_CODE",
+    "OP_BY_CODE",
+    "POOL_BY_CODE",
+    "EXECUTION_LATENCY_BY_CODE",
+]
 
 
 class OpClass(enum.Enum):
@@ -50,6 +65,33 @@ EXECUTION_LATENCY: dict[OpClass, int] = {
     OpClass.STORE: 1,
     OpClass.BRANCH: 1,
 }
+
+# ---------------------------------------------------------------------
+# Canonical integer op codes.  The columnar trace pipeline
+# (:mod:`repro.isa.soa`) stores op classes as small ints so NumPy masks
+# and Python hot loops avoid enum hashing; the tables below are the one
+# place the numbering is defined.
+OP_IALU, OP_IMUL, OP_FALU, OP_FMUL, OP_LOAD, OP_STORE, OP_BRANCH = range(7)
+
+OP_BY_CODE: tuple[OpClass, ...] = (
+    OpClass.IALU,
+    OpClass.IMUL,
+    OpClass.FALU,
+    OpClass.FMUL,
+    OpClass.LOAD,
+    OpClass.STORE,
+    OpClass.BRANCH,
+)
+OP_CODE: dict[OpClass, int] = {op: code for code, op in enumerate(OP_BY_CODE)}
+
+# Functional-unit pool per op code: loads/stores/branches contend for the
+# integer ALU/AGU slots (same collapse as FunctionalUnitPool._pool_for).
+# Pool codes index [IALU, IMUL, FALU, FMUL] capacity vectors.
+POOL_BY_CODE: tuple[int, ...] = (0, 1, 2, 3, 0, 0, 0)
+
+EXECUTION_LATENCY_BY_CODE: tuple[int, ...] = tuple(
+    EXECUTION_LATENCY[op] for op in OP_BY_CODE
+)
 
 
 class FunctionalUnitPool:

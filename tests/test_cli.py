@@ -1,6 +1,8 @@
 """The command-line interface."""
 
 import json
+import os
+import time
 
 import pytest
 
@@ -119,6 +121,37 @@ class TestResilience:
         )
         assert args.checkpoint == str(tmp_path / "ck")
 
+    def test_env_knobs_reach_sweeps_without_flags(self, capsys, monkeypatch):
+        monkeypatch.setenv(engine.RETRIES_ENV_VAR, "2")
+        monkeypatch.setenv(engine.TASK_TIMEOUT_ENV_VAR, "9.0")
+        seen = {}
+
+        def _capture(_args):
+            seen["policy"] = engine.resolve_policy(None)
+
+        monkeypatch.setitem(cli._COMMANDS, "vias", _capture)
+        assert main(["vias"]) == 0
+        assert seen["policy"].max_retries == 2
+        assert seen["policy"].timeout_s == 9.0
+
+    def test_cli_flags_outrank_env_knobs_fieldwise(self, capsys, monkeypatch):
+        monkeypatch.setenv(engine.RETRIES_ENV_VAR, "2")
+        monkeypatch.setenv(engine.TASK_TIMEOUT_ENV_VAR, "9.0")
+        seen = {}
+
+        def _capture(_args):
+            seen["policy"] = engine.resolve_policy(None)
+
+        monkeypatch.setitem(cli._COMMANDS, "vias", _capture)
+        assert main(["vias", "--task-timeout", "2.5"]) == 0
+        assert seen["policy"].timeout_s == 2.5     # flag wins its field
+        assert seen["policy"].max_retries == 2     # env keeps the other
+
+    def test_bad_env_knob_exits_2(self, capsys, monkeypatch):
+        monkeypatch.setenv(engine.RETRIES_ENV_VAR, "many")
+        assert main(["vias", "--task-timeout", "2.5"]) == 2
+        assert "error:" in capsys.readouterr().out
+
     def test_repro_error_exits_2(self, capsys):
         assert main(["list", "--jobs", "0"]) == 2
         assert "error:" in capsys.readouterr().out
@@ -177,6 +210,42 @@ class TestResilience:
         assert sweep["tasks"] == 4
         assert sweep["resumed_tasks"] == 4
         assert manifest2["metrics"] == manifest1["metrics"]
+
+
+class TestGcCommand:
+    def test_gc_removes_stale_runs(self, tmp_path, capsys):
+        root = tmp_path / "ck"
+        fresh = root / "run-fresh"
+        fresh.mkdir(parents=True)
+        (fresh / "sweep.jsonl").write_text("x" * 10)
+        stale = root / "run-stale"
+        stale.mkdir()
+        (stale / "sweep.jsonl").write_text("y" * 10)
+        stamp = time.time() - 30 * 86400
+        os.utime(stale / "sweep.jsonl", (stamp, stamp))
+        os.utime(stale, (stamp, stamp))
+        assert main(
+            ["gc", "--dir", str(root), "--max-age-days", "7"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "removed run-stale" in out
+        assert not stale.exists()
+        assert fresh.exists()
+
+    def test_gc_dry_run_deletes_nothing(self, tmp_path, capsys):
+        root = tmp_path / "ck"
+        run = root / "run-a"
+        run.mkdir(parents=True)
+        (run / "sweep.jsonl").write_text("x")
+        assert main(
+            ["gc", "--dir", str(root), "--keep-last", "0", "--dry-run"]
+        ) == 0
+        assert "would remove run-a" in capsys.readouterr().out
+        assert run.exists()
+
+    def test_gc_without_policy_exits_2(self, tmp_path, capsys):
+        assert main(["gc", "--dir", str(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().out
 
 
 def test_format_table_alignment():

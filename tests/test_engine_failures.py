@@ -89,6 +89,20 @@ def _hang(x):
     return x
 
 
+def _stubborn_even(x):
+    # Even tasks swallow every interrupt — including the engine's
+    # in-worker SIGALRM — and keep sleeping; only the controller-side
+    # deadline backstop can end them.
+    if x % 2 == 0:
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            try:
+                time.sleep(0.5)
+            except BaseException:
+                pass
+    return x * 2
+
+
 def _record_call(item):
     value, marker = item
     with open(marker, "a") as fh:
@@ -181,6 +195,98 @@ class TestChaosPolicy:
         ChaosPolicy(kill_p=1.0).inject(0, 0, in_worker=False)
 
 
+class TestEnvPolicy:
+    def test_unset_env_yields_no_policy(self, monkeypatch):
+        monkeypatch.delenv(engine.RETRIES_ENV_VAR, raising=False)
+        monkeypatch.delenv(engine.TASK_TIMEOUT_ENV_VAR, raising=False)
+        assert engine.policy_from_env() is None
+
+    def test_env_knobs_override_base_fields(self, monkeypatch):
+        monkeypatch.setenv(engine.RETRIES_ENV_VAR, "2")
+        monkeypatch.setenv(engine.TASK_TIMEOUT_ENV_VAR, "1.5")
+        policy = engine.policy_from_env()
+        assert policy.max_retries == 2
+        assert policy.timeout_s == 1.5
+        assert policy.fail_fast is True            # untouched base field
+
+    def test_bad_env_values_raise_config_error(self, monkeypatch):
+        monkeypatch.setenv(engine.RETRIES_ENV_VAR, "two")
+        with pytest.raises(ConfigError):
+            engine.policy_from_env()
+        monkeypatch.setenv(engine.RETRIES_ENV_VAR, "1")
+        monkeypatch.setenv(engine.TASK_TIMEOUT_ENV_VAR, "soon")
+        with pytest.raises(ConfigError):
+            engine.policy_from_env()
+
+    def test_explicit_and_default_outrank_env(self, monkeypatch):
+        monkeypatch.setenv(engine.RETRIES_ENV_VAR, "5")
+        assert engine.resolve_policy(TaskPolicy(max_retries=1)).max_retries == 1
+        engine.set_default_policy(TaskPolicy(max_retries=3))
+        assert engine.resolve_policy(None).max_retries == 3
+        engine.set_default_policy(None)
+        assert engine.resolve_policy(None).max_retries == 5
+
+    def test_env_retries_drive_sweep(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(engine.RETRIES_ENV_VAR, "2")
+        items = [(4, str(tmp_path / "marker"))]
+        results, timing = run_sweep(_flaky_once, items, jobs=1)
+        assert results == [8]
+        assert timing.retries == 1
+
+    def test_env_timeout_drives_sweep(self, monkeypatch):
+        monkeypatch.setenv(engine.TASK_TIMEOUT_ENV_VAR, "0.2")
+        with pytest.raises(SweepAbortedError) as excinfo:
+            run_sweep(_hang, [1], jobs=1)
+        assert isinstance(excinfo.value.failures[0], TaskTimeoutError)
+
+
+class TestCheckpointGc:
+    @staticmethod
+    def _make_run(root, name, age_s=0.0, payload=b"x" * 100):
+        run = root / name
+        run.mkdir(parents=True)
+        path = run / "sweep.jsonl"
+        path.write_bytes(payload)
+        if age_s:
+            stamp = time.time() - age_s
+            os.utime(path, (stamp, stamp))
+            os.utime(run, (stamp, stamp))
+        return run
+
+    def test_requires_a_retention_policy(self, tmp_path):
+        with pytest.raises(ConfigError):
+            checkpoint_mod.gc_checkpoints(tmp_path)
+        with pytest.raises(ConfigError):
+            checkpoint_mod.gc_checkpoints(tmp_path, keep_last=-1)
+
+    def test_keep_last_removes_least_recent(self, tmp_path):
+        for i, age in enumerate([300.0, 200.0, 100.0]):
+            self._make_run(tmp_path, f"run-{i}", age_s=age)
+        report = checkpoint_mod.gc_checkpoints(tmp_path, keep_last=2)
+        assert report.removed == ["run-0"]
+        assert sorted(report.kept) == ["run-1", "run-2"]
+        assert not (tmp_path / "run-0").exists()
+        assert (tmp_path / "run-2").exists()
+
+    def test_max_age_and_dry_run(self, tmp_path):
+        self._make_run(tmp_path, "old", age_s=10 * 86400.0)
+        self._make_run(tmp_path, "new")
+        dry = checkpoint_mod.gc_checkpoints(
+            tmp_path, max_age_days=7, dry_run=True
+        )
+        assert dry.removed == ["old"] and dry.kept == ["new"]
+        assert dry.reclaimed_bytes == 100
+        assert (tmp_path / "old").exists()      # dry run deletes nothing
+        real = checkpoint_mod.gc_checkpoints(tmp_path, max_age_days=7)
+        assert real.removed == ["old"]
+        assert not (tmp_path / "old").exists()
+        assert (tmp_path / "new").exists()
+
+    def test_missing_root_is_an_empty_report(self, tmp_path):
+        report = checkpoint_mod.gc_checkpoints(tmp_path / "nope", keep_last=1)
+        assert report.removed == [] and report.kept == []
+
+
 # ---------------------------------------------------------------------
 class TestRetries:
     def test_retry_then_succeed_serial(self, tmp_path):
@@ -259,6 +365,31 @@ class TestTimeouts:
         failure = excinfo.value.failures[0]
         assert isinstance(failure, TaskTimeoutError)
         assert failure.timeout_s == 0.2
+
+
+class TestControllerDeadline:
+    def test_stubborn_task_cannot_hang_the_sweep(self):
+        # The stubborn task swallows the in-worker alarm; the wave-level
+        # deadline must end it while the healthy task's result survives.
+        results, timing = run_sweep(
+            _stubborn_even, [0, 3], jobs=2, chunksize=1,
+            policy=TaskPolicy(timeout_s=0.3, fail_fast=False),
+        )
+        assert results == [None, 6]
+        assert timing.timeouts >= 1
+        assert timing.failures == 1
+
+    def test_stubborn_task_aborts_under_fail_fast(self):
+        # Two tasks so the sweep actually takes the pooled path (a lone
+        # task is clamped to jobs=1 and runs in-process).
+        with pytest.raises(SweepAbortedError) as excinfo:
+            run_sweep(
+                _stubborn_even, [0, 1], jobs=2, chunksize=1,
+                policy=TaskPolicy(timeout_s=0.3),
+            )
+        failure = excinfo.value.failures[0]
+        assert isinstance(failure, TaskTimeoutError)
+        assert "controller deadline" in str(failure)
 
 
 class TestPoolRecovery:

@@ -27,9 +27,9 @@ class TestTraceCache:
         cache = memo.get_cache()
         cache.trace(GZIP, 42, 500)
         calls = []
-        original = TraceGenerator.generate
+        original = TraceGenerator.generate_arrays
         monkeypatch.setattr(
-            TraceGenerator, "generate",
+            TraceGenerator, "generate_arrays",
             lambda self, n: calls.append(n) or original(self, n),
         )
         cache.trace(GZIP, 42, 500)      # exact hit

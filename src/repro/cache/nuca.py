@@ -226,27 +226,17 @@ class NucaCache:
         latency = tag_latency + self._bank_latency(bank)
         return AccessResult(False, latency + self.memory_latency_cycles, bank)
 
-    def preload_lines(self, addresses) -> bool:
-        """Bulk-install distinct lines into an *empty* L2.
+    def preload_plan(self, addresses):
+        """The pure install plan for :meth:`preload_lines`, or ``None``.
 
-        Vectorized equivalent of looping :meth:`access` over ``addresses``
-        (a NumPy integer array): starting empty with distinct lines, every
-        access misses, so each set ends up holding its last ``total_ways``
-        lines in access order.  Under distributed sets the bank is
-        ``set_index % num_banks``; under distributed ways the k-th miss of
-        a set lands in slot ``k % total_ways`` (fill ascending, then evict
-        the LRU front and reuse its slot).  Returns False when the fast
-        path's preconditions do not hold (non-empty cache, duplicate
-        lines, or contention modelling, whose sliding bank window the
-        batch form does not track) — the caller must then fall back.
+        Depends only on the address set and this L2's configuration
+        (geometry + placement policy) — never on cache state — so callers
+        may memoize it per ``(addresses key, config)``.  Returns ``None``
+        when the addresses contain duplicate lines.
         """
-        if self.config.model_contention:
-            return False
-        if any(self._sets):
-            return False
         lines = np.asarray(addresses) >> self._offset_bits
-        if np.unique(lines).size != lines.size:
-            return False
+        if lines.size and (np.diff(np.sort(lines)) == 0).any():
+            return None
         set_idx = lines % self._num_sets
         order = np.argsort(set_idx, kind="stable")
         sorted_sets = set_idx[order]
@@ -261,17 +251,53 @@ class NucaCache:
             slots = position % self._total_ways
             banks = np.array(self._data_banks, dtype=np.int64)[slots]
         keep = position >= counts[sorted_sets] - self._total_ways
-        sets = self._sets
-        for s, line, slot in zip(
-            sorted_sets[keep].tolist(),
-            sorted_lines[keep].tolist(),
-            slots[keep].tolist(),
-        ):
-            sets[s].append((line, slot))
-        self._misses.increment(lines.size)
-        for bank, count in enumerate(
-            np.bincount(banks, minlength=self.config.num_banks).tolist()
-        ):
+        bank_counts = np.bincount(
+            banks, minlength=self.config.num_banks
+        ).tolist()
+        # The plan is the final per-set LRU state itself (a template the
+        # install step copies), so applying a memoized plan costs one
+        # list copy per set instead of one append per line.  The kept
+        # entries are already grouped by set (stable sort), so the
+        # template rows are consecutive slices.
+        kept_pairs = list(
+            zip(sorted_lines[keep].tolist(), slots[keep].tolist())
+        )
+        kept_counts = np.bincount(
+            sorted_sets[keep], minlength=self._num_sets
+        )
+        ends = np.cumsum(kept_counts).tolist()
+        starts = [0] + ends[:-1]
+        template = [kept_pairs[a:b] for a, b in zip(starts, ends)]
+        return (template, int(lines.size), bank_counts)
+
+    def preload_lines(self, addresses, plan=None) -> bool:
+        """Bulk-install distinct lines into an *empty* L2.
+
+        Vectorized equivalent of looping :meth:`access` over ``addresses``
+        (a NumPy integer array): starting empty with distinct lines, every
+        access misses, so each set ends up holding its last ``total_ways``
+        lines in access order.  Under distributed sets the bank is
+        ``set_index % num_banks``; under distributed ways the k-th miss of
+        a set lands in slot ``k % total_ways`` (fill ascending, then evict
+        the LRU front and reuse its slot).  Returns False when the fast
+        path's preconditions do not hold (non-empty cache, duplicate
+        lines, or contention modelling, whose sliding bank window the
+        batch form does not track) — the caller must then fall back.
+        ``plan`` is an optional precomputed (possibly memoized)
+        :meth:`preload_plan` for the same addresses and configuration.
+        """
+        if self.config.model_contention:
+            return False
+        if any(self._sets):
+            return False
+        if plan is None:
+            plan = self.preload_plan(addresses)
+        if plan is None:
+            return False
+        template, n, bank_counts = plan
+        self._sets = [list(ways) for ways in template]
+        self._misses.increment(n)
+        for bank, count in enumerate(bank_counts):
             if count:
                 self._bank_accesses[bank].increment(count)
         return True

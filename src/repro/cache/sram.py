@@ -77,21 +77,17 @@ class SetAssociativeCache:
             return victim << self._offset_bits
         return None
 
-    def preload_lines(self, addresses) -> bool:
-        """Bulk-install distinct lines into an *empty* cache.
+    def preload_plan(self, addresses):
+        """The pure install plan for :meth:`preload_lines`, or ``None``.
 
-        Equivalent to calling :meth:`access` on each address in order, but
-        computed as one vectorized pass: with an empty cache and distinct
-        lines every access misses, so the final LRU state of each set is
-        simply its last ``ways`` lines in access order.  Returns False
-        (caller must fall back to the loop) when the preconditions do not
-        hold.  ``addresses`` is a NumPy integer array.
+        Depends only on the address set and the cache geometry — never on
+        cache state — so callers may memoize it per ``(addresses key,
+        geometry)``.  Returns ``None`` when the addresses contain duplicate
+        lines (the fast path's precondition fails regardless of state).
         """
-        if any(self._sets):
-            return False
         lines = np.asarray(addresses) >> self._offset_bits
-        if np.unique(lines).size != lines.size:
-            return False
+        if lines.size and (np.diff(np.sort(lines)) == 0).any():
+            return None
         set_idx = lines % self._num_sets
         order = np.argsort(set_idx, kind="stable")
         sorted_sets = set_idx[order]
@@ -102,12 +98,41 @@ class SetAssociativeCache:
         )
         position = np.arange(lines.size) - group_start[sorted_sets]
         keep = position >= counts[sorted_sets] - self.geometry.ways
-        sets = self._sets
-        for s, line in zip(
-            sorted_sets[keep].tolist(), sorted_lines[keep].tolist()
-        ):
-            sets[s].append(line)
-        self._misses.increment(lines.size)
+        # The plan is the final per-set LRU state itself (a template the
+        # install step copies), so applying a memoized plan costs one
+        # list copy per set instead of one append per line.  The kept
+        # entries are already grouped by set (stable sort), so the
+        # template rows are consecutive slices.
+        kept_lines = sorted_lines[keep].tolist()
+        kept_counts = np.bincount(
+            sorted_sets[keep], minlength=self._num_sets
+        )
+        ends = np.cumsum(kept_counts).tolist()
+        starts = [0] + ends[:-1]
+        template = [kept_lines[a:b] for a, b in zip(starts, ends)]
+        return (template, int(lines.size))
+
+    def preload_lines(self, addresses, plan=None) -> bool:
+        """Bulk-install distinct lines into an *empty* cache.
+
+        Equivalent to calling :meth:`access` on each address in order, but
+        computed as one vectorized pass: with an empty cache and distinct
+        lines every access misses, so the final LRU state of each set is
+        simply its last ``ways`` lines in access order.  Returns False
+        (caller must fall back to the loop) when the preconditions do not
+        hold.  ``addresses`` is a NumPy integer array; ``plan`` is an
+        optional precomputed (possibly memoized) :meth:`preload_plan` for
+        the same addresses and geometry.
+        """
+        if any(self._sets):
+            return False
+        if plan is None:
+            plan = self.preload_plan(addresses)
+        if plan is None:
+            return False
+        template, n = plan
+        self._sets = [list(ways) for ways in template]
+        self._misses.increment(n)
         return True
 
     def invalidate(self, address: int) -> bool:

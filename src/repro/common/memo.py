@@ -85,11 +85,13 @@ class ArtifactCache:
         self._predictors: dict[tuple, object] = {}
         self._thermal_models: dict[tuple, object] = {}
         self._grids: dict[tuple, object] = {}
+        self._preload_plans: dict[tuple, object] = {}
         self.stats: dict[str, MemoStats] = {
             "trace": MemoStats(),
             "predictor": MemoStats(),
             "thermal": MemoStats(),
             "grid": MemoStats(),
+            "preload": MemoStats(),
         }
 
     def _record(self, category: str, hit: bool) -> None:
@@ -108,6 +110,7 @@ class ArtifactCache:
         self._predictors.clear()
         self._thermal_models.clear()
         self._grids.clear()
+        self._preload_plans.clear()
         for stats in self.stats.values():
             stats.hits = 0
             stats.misses = 0
@@ -124,6 +127,23 @@ class ArtifactCache:
         can corrupt the shared stream.
         """
         from repro.isa.soa import TraceArrays
+
+        entry = self._trace_entry(profile, seed)
+        if len(entry.arrays) >= count:
+            self._record("trace", hit=True)
+        else:
+            self._record("trace", hit=False)
+            extension = entry.generator.generate_arrays(
+                count - len(entry.arrays)
+            )
+            entry.arrays = TraceArrays.concat(
+                [entry.arrays, extension]
+            ).freeze()
+        return entry.arrays[:count]
+
+    def _trace_entry(self, profile: WorkloadProfile, seed: int) -> _TraceEntry:
+        """The LRU entry for ``(profile, seed)``, created on demand."""
+        from repro.isa.soa import TraceArrays
         from repro.isa.trace import TraceGenerator
 
         key = (profile, seed)
@@ -137,17 +157,36 @@ class ArtifactCache:
             if len(self._traces) > self._max_trace_entries:
                 self._traces.popitem(last=False)
         self._traces.move_to_end(key)
-        if len(entry.arrays) >= count:
-            self._record("trace", hit=True)
-        else:
-            self._record("trace", hit=False)
-            extension = entry.generator.generate_arrays(
-                count - len(entry.arrays)
-            )
+        return entry
+
+    def prime_trace_batch(self, requests) -> None:
+        """Pre-generate several trace streams through the lockstep kernels.
+
+        ``requests`` is an iterable of ``(profile, seed, count)``; every
+        stream that is not yet ``count`` instructions long is extended in
+        one batched :func:`~repro.isa.trace.generate_arrays_batch` pass
+        (bit-identical per stream to solo generation).  Subsequent
+        :meth:`trace_arrays` lookups then hit.  Requests beyond the LRU
+        capacity are ignored — they would only evict each other.
+        """
+        from repro.isa.soa import TraceArrays
+        from repro.isa.trace import generate_arrays_batch
+
+        entries, needs = [], []
+        for profile, seed, count in list(requests)[: self._max_trace_entries]:
+            entry = self._trace_entry(profile, seed)
+            if len(entry.arrays) < count:
+                entries.append(entry)
+                needs.append(count - len(entry.arrays))
+        if not entries:
+            return
+        batch = generate_arrays_batch(
+            [entry.generator for entry in entries], needs
+        )
+        for b, entry in enumerate(entries):
             entry.arrays = TraceArrays.concat(
-                [entry.arrays, extension]
+                [entry.arrays, batch.sim(b)]
             ).freeze()
-        return entry.arrays[:count]
 
     def trace(self, profile: WorkloadProfile, seed: int, count: int) -> tuple:
         """The first ``count`` instructions of ``(profile, seed)``'s stream
@@ -155,6 +194,27 @@ class ArtifactCache:
         over :meth:`trace_arrays`; object consumers like the fault-injection
         harness still use this form)."""
         return tuple(self.trace_arrays(profile, seed, count).to_instructions())
+
+    # -- cache preload plans -------------------------------------------
+    def preload_plan(self, key: tuple, compute):
+        """A memoized bulk cache-preload plan (see ``preload_lines``).
+
+        Plans are pure functions of the preload address set and the cache
+        geometry — callers key them by ``(profile, cache kind, geometry)``
+        — so the sort/unique/position math runs once per key per process
+        however many simulations rebuild the same hierarchy.  ``compute``
+        may return ``None`` (preconditions failed); that result is not
+        cached.
+        """
+        plan = self._preload_plans.get(key)
+        if plan is not None:
+            self._record("preload", hit=True)
+            return plan
+        self._record("preload", hit=False)
+        plan = compute()
+        if plan is not None:
+            self._preload_plans[key] = plan
+        return plan
 
     # -- branch predictors ---------------------------------------------
     def pretrained_predictor(self, profile: WorkloadProfile, seed: int):

@@ -41,7 +41,6 @@ from repro.core.branch import BranchPredictor
 from repro.core.memory import MemoryHierarchy
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import (
-    EXECUTION_LATENCY,
     EXECUTION_LATENCY_BY_CODE,
     OP_BRANCH,
     OP_BY_CODE,
@@ -63,8 +62,6 @@ _PRUNE_PERIOD = 4096
 
 _POOL_ARR = np.array(POOL_BY_CODE, dtype=np.int64)
 _LATENCY_ARR = np.array(EXECUTION_LATENCY_BY_CODE, dtype=np.int64)
-# Pool codes index [IALU, IMUL, FALU, FMUL]; see POOL_BY_CODE.
-_POOL_OF = {op: POOL_BY_CODE[code] for op, code in OP_CODE.items()}
 
 
 @dataclass
@@ -85,31 +82,40 @@ class LeadingRunResult:
 class PreparedWindow:
     """Per-row columns for one batch-scheduled trace window.
 
-    Produced by :meth:`LeadingCoreTiming.prepare_window`; every field is a
-    plain Python list (one entry per row) so the scheduling loop touches no
-    NumPy scalars.  ``mispredicted`` is None for non-branches.  Memory and
+    Produced by :meth:`LeadingCoreTiming.prepare_window`; every column is
+    a NumPy array (one entry per row), kept as arrays end-to-end so
+    downstream consumers — the RMT harness's windowed checker, the
+    batched entry points — can slice them without round-trips.
+    ``mispredicted`` is a plain list (None for non-branches).  Memory and
     predictor side effects have already been applied when this exists.
     """
 
-    pool: list[int]
-    is_mem: list[bool]
-    is_fp: list[bool]
-    writes: list[bool]
-    dst: list[int]
-    src1: list[int]
-    src2: list[int]
-    fetch_add: list[int]
-    latency: list[int]
+    pool: np.ndarray
+    is_mem: np.ndarray
+    is_fp: np.ndarray
+    writes: np.ndarray
+    dst: np.ndarray
+    src1: np.ndarray
+    src2: np.ndarray
+    fetch_add: np.ndarray
+    latency: np.ndarray
     mispredicted: list[bool | None]
 
     def __len__(self) -> int:
         return len(self.pool)
 
     def rows(self):
-        """Iterate rows as `_advance` argument tuples (sans commit gate)."""
+        """Iterate rows as `_advance` argument tuples (sans commit gate).
+
+        Columns convert to plain lists here, once per window: the
+        scheduling state machine's integer arithmetic must touch Python
+        ints, never NumPy scalars.
+        """
         return zip(
-            self.fetch_add, self.pool, self.is_mem, self.is_fp, self.writes,
-            self.dst, self.src1, self.src2, self.latency, self.mispredicted,
+            self.fetch_add.tolist(), self.pool.tolist(),
+            self.is_mem.tolist(), self.is_fp.tolist(), self.writes.tolist(),
+            self.dst.tolist(), self.src1.tolist(), self.src2.tolist(),
+            self.latency.tolist(), self.mispredicted,
         )
 
 
@@ -128,13 +134,7 @@ class LeadingCoreTiming:
         self.predictor = predictor or BranchPredictor()
         self.stats = StatGroup("leading")
 
-        self._fu_capacity = {
-            OpClass.IALU: config.int_alus,
-            OpClass.IMUL: config.int_mults,
-            OpClass.FALU: config.fp_alus,
-            OpClass.FMUL: config.fp_mults,
-        }
-        # Pool-code-indexed mirror used by the scheduling state machine.
+        # Pool-code-indexed capacities used by the scheduling state machine.
         self._fu_cap_by_pool = (
             config.int_alus, config.int_mults, config.fp_alus, config.fp_mults,
         )
@@ -350,8 +350,9 @@ class LeadingCoreTiming:
         address = arrays.address[start:end]
         n = len(ops)
         if n == 0:
-            empty: list = []
-            return PreparedWindow(*([empty[:] for _ in range(10)]))
+            zi = np.empty(0, dtype=np.int64)
+            zb = np.empty(0, dtype=bool)
+            return PreparedWindow(zi, zb, zb, zb, zi, zi, zi, zi, zi, [])
 
         is_load = ops == OP_LOAD
         is_store = ops == OP_STORE
@@ -415,15 +416,15 @@ class LeadingCoreTiming:
 
         dst = arrays.dst[start:end]
         return PreparedWindow(
-            pool=_POOL_ARR[ops].tolist(),
-            is_mem=is_mem.tolist(),
-            is_fp=((ops == OP_FALU) | (ops == OP_FMUL)).tolist(),
-            writes=(dst >= 0).tolist(),
-            dst=dst.tolist(),
-            src1=arrays.src1[start:end].tolist(),
-            src2=arrays.src2[start:end].tolist(),
-            fetch_add=fetch_add.tolist(),
-            latency=latency.tolist(),
+            pool=_POOL_ARR[ops],
+            is_mem=is_mem,
+            is_fp=(ops == OP_FALU) | (ops == OP_FMUL),
+            writes=dst >= 0,
+            dst=dst,
+            src1=arrays.src1[start:end],
+            src2=arrays.src2[start:end],
+            fetch_add=fetch_add,
+            latency=latency,
             mispredicted=mispredicted,
         )
 
@@ -450,23 +451,6 @@ class LeadingCoreTiming:
             advance(*row)
 
     # ------------------------------------------------------------------
-    def _find_issue_cycle(self, earliest: int, op: OpClass) -> int:
-        """Legacy entry point; the logic lives inline in :meth:`_advance`."""
-        pool = _POOL_OF[op]
-        cap = self._fu_cap_by_pool[pool]
-        width = self.config.dispatch_width
-        cycle = earliest
-        while True:
-            if (
-                self._issue_usage.get(cycle, 0) < width
-                and self._fu_usage.get((cycle, pool), 0) < cap
-            ):
-                self._issue_usage[cycle] = self._issue_usage.get(cycle, 0) + 1
-                key = (cycle, pool)
-                self._fu_usage[key] = self._fu_usage.get(key, 0) + 1
-                return cycle
-            cycle += 1
-
     def _prune(self, horizon: int) -> None:
         floor = horizon - 4 * self.config.rob_size
         self._issue_usage = {

@@ -103,8 +103,15 @@ class MemoryHierarchy:
 
         Uses the caches' bulk ``preload_lines`` fast path (all regions are
         disjoint, so the lines are distinct and every access misses); falls
-        back to the per-address loop whenever a cache declines.
+        back to the per-address loop whenever a cache declines.  The pure
+        install plans (sort/unique/position math) are memoized per
+        ``(profile, cache config)`` via :mod:`repro.common.memo` — a sweep
+        rebuilds the hierarchy for every simulation, but the plan for a
+        given profile and geometry never changes.
         """
+        from repro.common.memo import get_cache
+
+        cache = get_cache()
         line = self.l1d.geometry.line_bytes
         l2_addrs = np.concatenate(
             [
@@ -126,11 +133,29 @@ class MemoryHierarchy:
             self.l2.resident_lines() == 0
             and self.l1d.resident_lines() == 0
             and self.l1i.resident_lines() == 0
-            and self.l2.preload_lines(l2_addrs)
+            and self.l2.preload_lines(
+                l2_addrs,
+                plan=cache.preload_plan(
+                    ("preload-l2", profile, self.l2.config),
+                    lambda: self.l2.preload_plan(l2_addrs),
+                ),
+            )
         )
         if fast:
-            self.l1d.preload_lines(hot_addrs)
-            self.l1i.preload_lines(code_addrs)
+            self.l1d.preload_lines(
+                hot_addrs,
+                plan=cache.preload_plan(
+                    ("preload-l1d", profile, self.l1d.geometry),
+                    lambda: self.l1d.preload_plan(hot_addrs),
+                ),
+            )
+            self.l1i.preload_lines(
+                code_addrs,
+                plan=cache.preload_plan(
+                    ("preload-l1i", profile, self.l1i.geometry),
+                    lambda: self.l1i.preload_plan(code_addrs),
+                ),
+            )
         else:
             self._preload_profile_reference(profile)
         # Preloading must not pollute the measured statistics.

@@ -15,7 +15,10 @@ structures of Section 2.1 would (200-entry RVQ, 80-entry LVQ, 40-entry BOQ,
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.common.config import CheckerCoreConfig, LeadingCoreConfig
 from repro.core.branch import BranchPredictor
@@ -33,8 +36,14 @@ from repro.isa.opcodes import (
 )
 from repro.isa.soa import TraceArrays
 from repro.obs.metrics import FRACTION_EDGES, get_registry
+from repro.obs.tracing import span
 
 __all__ = ["RmtSimulator", "RmtTimingResult"]
+
+_POOL_ARR = np.array(POOL_BY_CODE, dtype=np.int64)
+_LATENCY_ARR = np.array(EXECUTION_LATENCY_BY_CODE, dtype=np.int64)
+# Queue binding codes used by the vectorized gate pre-pass.
+_BINDINGS = ("rvq", "lvq", "stb", "boq")
 
 
 @dataclass
@@ -156,32 +165,31 @@ class RmtSimulator:
         The leading core's memory/predictor behaviour is pre-resolved per
         window (:meth:`LeadingCoreTiming.prepare_window`, split at the
         warmup boundary so the measurement snapshot is unchanged); the
-        checker consumes precomputed integer columns lazily, driven by the
-        same queue-gating recurrence as the object path.
+        checker consumes whole windows of precomputed integer columns at
+        once (:meth:`_drain_to`), and the queue-gating recurrence is
+        reduced to a table lookup by a vectorized pre-pass
+        (:meth:`_precompute_gates`).
         """
         self._trace = arrays
         ops = arrays.op
-        load_list = (ops == OP_LOAD).tolist()
-        store_list = (ops == OP_STORE).tolist()
-        branch_list = (ops == OP_BRANCH).tolist()
-        # Checker columns for lazy consumption (state depends only on the
-        # consume order, so precomputing per-row fields is free of hazards).
-        op_codes = ops.tolist()
-        self._c_pool = [POOL_BY_CODE[c] for c in op_codes]
-        self._c_latency = [EXECUTION_LATENCY_BY_CODE[c] for c in op_codes]
-        self._c_src1 = arrays.src1.tolist()
-        self._c_src2 = arrays.src2.tolist()
-        self._c_dst = arrays.dst.tolist()
+        # Checker columns stay NumPy arrays end-to-end: consume_window
+        # slices them per window, and the rare boundary-row fallback
+        # indexes them directly.
+        self._cw_pool = _POOL_ARR[ops]
+        self._cw_latency = _LATENCY_ARR[ops]
+        self._cw_src1 = arrays.src1
+        self._cw_src2 = arrays.src2
+        self._cw_dst = arrays.dst
         self._consume_row = self._consume_row_columnar
+        needed_list, binding_list = self._precompute_gates(ops)
 
         n = len(arrays)
         leading = self.leading
         advance = leading._advance
-        gate_for = self._gate_for
         commit_times = self._commit_times
-        load_indices = self._load_indices
-        store_indices = self._store_indices
-        branch_indices = self._branch_indices
+        consume_times = self._consume_times
+        queue_stalls = self.queue_stalls
+        ceil = math.ceil
         i = 0
         for start, end in ((0, min(warmup, n)), (min(warmup, n), n)):
             if start == end:
@@ -190,18 +198,93 @@ class RmtSimulator:
                 leading.start_measurement()
             prepared = leading.prepare_window(arrays, start, end)
             for row in prepared.rows():
-                gate = gate_for(i, load_list[i], store_list[i], branch_list[i])
-                commit = advance(*row, gate)
+                needed = needed_list[i]
+                if needed >= 0:
+                    if needed >= len(consume_times):
+                        self._drain_to(needed)
+                    gate = ceil(consume_times[needed])
+                    if gate > leading._last_commit:
+                        self.backpressure_commits += 1
+                        queue_stalls[_BINDINGS[binding_list[i]]] += 1
+                    commit = advance(*row, gate)
+                else:
+                    commit = advance(*row)
                 commit_times.append(commit)
-                if load_list[i]:
-                    load_indices.append(i)
-                elif store_list[i]:
-                    store_indices.append(i)
-                elif branch_list[i]:
-                    branch_indices.append(i)
                 i += 1
-        self._consume_until(n - 1)
+        self._drain_to(n - 1)
         return self._result(n - warmup)
+
+    def _precompute_gates(self, ops: np.ndarray) -> tuple[list, list]:
+        """Vectorize the queue-gating recurrence's *candidate* indices.
+
+        For each row ``i`` the gating entry — the earlier row whose
+        check-commit must precede row ``i``'s commit — is a pure
+        positional recurrence over the class masks (the k-th previous
+        same-class row), independent of any timing.  Only the consume
+        *times* are runtime-dependent, so the per-row work in
+        :meth:`run_arrays` reduces to a list lookup.  Returns
+        ``(needed, binding)`` lists; ``needed[i] < 0`` means row ``i`` is
+        ungated and ``binding[i]`` indexes ``_BINDINGS`` for stall
+        attribution.
+        """
+        n = len(ops)
+        # RVQ: every instruction occupies one entry (negative = ungated).
+        needed = np.arange(-self._rvq_capacity, n - self._rvq_capacity)
+        binding = np.zeros(n, dtype=np.int8)
+        for code, capacity, bcode in (
+            (OP_LOAD, self._lvq_capacity, 1),
+            (OP_STORE, self._stb_capacity, 2),
+            (OP_BRANCH, self._boq_capacity, 3),
+        ):
+            pos = np.flatnonzero(ops == code)
+            if len(pos) > capacity:
+                sel = pos[capacity:]
+                cand = pos[: len(pos) - capacity]
+                win = cand > needed[sel]
+                needed[sel] = np.where(win, cand, needed[sel])
+                binding[sel[win]] = bcode
+        return needed.tolist(), binding.tolist()
+
+    def _drain_to(self, index: int) -> None:
+        """Consume every RVQ entry up to ``index``, extending eagerly.
+
+        Committed rows whose arrival precedes the next DFS boundary are
+        consumed as one :meth:`InOrderCheckerTiming.consume_window` batch
+        — the frequency ratio cannot change inside such a window.  A row
+        whose arrival crosses the boundary falls back to the scalar
+        oracle step, which fires the boundary (and any ratio change)
+        first.  Eager extension past ``index`` is safe: consumption order
+        and per-row arrivals are exactly those of the lazy schedule, so
+        the published consume times are identical, and DFS occupancy
+        sampling sees identical commit/consume prefixes because
+        boundary-crossing rows are never consumed early.
+        """
+        commit_times = self._commit_times
+        consume_times = self._consume_times
+        transfer = self.transfer_latency
+        checker = self.checker
+        while self._next_consume <= index:
+            k = self._next_consume
+            j = bisect_left(commit_times, self._next_boundary - transfer, k) - 1
+            if j >= k:
+                avail = np.asarray(commit_times[k:j + 1], dtype=np.float64)
+                avail += transfer
+                with span("rmt.consume_window"):
+                    done = checker.consume_window(
+                        self._cw_pool[k:j + 1],
+                        self._cw_src1[k:j + 1],
+                        self._cw_src2[k:j + 1],
+                        self._cw_dst[k:j + 1],
+                        self._cw_latency[k:j + 1],
+                        avail,
+                    )
+                consume_times.extend(done.tolist())
+                self._next_consume = j + 1
+            else:
+                available = commit_times[k] + transfer
+                self._process_boundaries(available)
+                consume_times.append(self._consume_row(k, available))
+                self._next_consume += 1
 
     # ------------------------------------------------------------------
     def _commit_gate(self, i: int, instr: Instruction) -> int:
@@ -255,11 +338,11 @@ class RmtSimulator:
 
     def _consume_row_columnar(self, k: int, available: float) -> float:
         return self.checker.consume_op(
-            self._c_pool[k],
-            self._c_src1[k],
-            self._c_src2[k],
-            self._c_dst[k],
-            self._c_latency[k],
+            int(self._cw_pool[k]),
+            int(self._cw_src1[k]),
+            int(self._cw_src2[k]),
+            int(self._cw_dst[k]),
+            int(self._cw_latency[k]),
             available,
         )
 
@@ -314,6 +397,15 @@ class RmtSimulator:
         for queue, stalls in self.queue_stalls.items():
             m.counter(f"rmt.stalls.{queue}").inc(stalls)
         m.counter("rmt.checker_instructions").inc(self.checker.consumed)
+        windows = self.checker.windows_consumed
+        if windows:
+            m.counter("rmt.consume_windows").inc(windows)
+            m.counter("rmt.consume_window_rows").inc(
+                self.checker.window_rows_consumed
+            )
+            m.gauge("rmt.mean_consume_window_rows_max").set(
+                self.checker.window_rows_consumed / windows
+            )
         m.counter("dfs.transitions_up").inc(self.dfs.throttle_ups)
         m.counter("dfs.transitions_down").inc(self.dfs.throttle_downs)
         m.gauge("rmt.mean_rvq_occupancy_max").set(mean_occupancy)

@@ -404,6 +404,13 @@ def _deadline(timeout_s: float | None):
     Enforcement requires ``SIGALRM`` (Unix) and the main thread — both
     true for pool workers and for the serial in-process path.  Anywhere
     else the block runs unlimited rather than failing.
+
+    The timer is armed with a repeating interval equal to the timeout:
+    if a task body swallows the first :class:`_TaskTimeout` (a broad
+    ``except BaseException`` handler) the alarm re-fires one period
+    later, so an in-process (jobs=1) task cannot convert one caught
+    alarm into an unlimited run.  The ``finally`` disarm clears both the
+    pending expiry and the repeat interval.
     """
     usable = (
         timeout_s is not None
@@ -418,7 +425,7 @@ def _deadline(timeout_s: float | None):
         raise _TaskTimeout()
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s, timeout_s)
     try:
         yield
     finally:
@@ -451,6 +458,8 @@ def _attempt_task(
     policy: TaskPolicy,
     chaos: ChaosPolicy | None,
     in_worker: bool,
+    prepare: Callable | None = None,
+    chunk_items: Sequence | None = None,
 ) -> _TaskOutcome:
     """Run one task with in-place retries; never raises task errors.
 
@@ -459,6 +468,14 @@ def _attempt_task(
     part of the merged-metric determinism contract.  Failed attempts
     call ``end_task`` purely to unwind the span stack — their metric
     deltas are discarded.
+
+    ``prepare`` (the chunk's ``prepare_chunk`` hook, passed only to the
+    chunk's first entry) runs with the full ``chunk_items`` list inside
+    this task's metrics window and deadline, on *every* attempt: chaos
+    injections fire before ``begin_task``, so a killed first attempt did
+    no priming and the retry prepares from the same cold state a clean
+    run would have seen.  The hook must therefore be idempotent (warm
+    caches make it a no-op).
     """
     outcome = _TaskOutcome(index=index)
     attempts_allowed = max(1, policy.max_retries + 1 - base_attempt)
@@ -477,6 +494,8 @@ def _attempt_task(
             try:
                 start = time.perf_counter()
                 with _deadline(policy.timeout_s):
+                    if prepare is not None:
+                        prepare(chunk_items)
                     result = fn(item)
                 wall = time.perf_counter() - start
                 snapshot = registry.end_task(mark)
@@ -515,11 +534,22 @@ def _run_chunk(
     policy: TaskPolicy,
     chaos: ChaosPolicy | None,
     in_worker: bool,
+    prepare: Callable | None = None,
 ) -> list[_TaskOutcome]:
-    """Execute one chunk of entries in order (the pool's unit of work)."""
+    """Execute one chunk of entries in order (the pool's unit of work).
+
+    ``prepare`` runs inside the first entry's attempt with the whole
+    chunk's items, so batched warm-up work is attributed to the chunk
+    that benefits from it (see :func:`_attempt_task`).
+    """
+    items = [item for _index, _base, item in entries]
     return [
-        _attempt_task(fn, item, index, base, policy, chaos, in_worker)
-        for index, base, item in entries
+        _attempt_task(
+            fn, item, index, base, policy, chaos, in_worker,
+            prepare=prepare if pos == 0 else None,
+            chunk_items=items if pos == 0 else None,
+        )
+        for pos, (index, base, item) in enumerate(entries)
     ]
 
 
@@ -664,12 +694,20 @@ def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
             pass
 
 
-def _run_serial(fn, chunks, policy, chaos, state: _SweepState) -> None:
+def _run_serial(fn, chunks, policy, chaos, state: _SweepState,
+                prepare=None) -> None:
+    # Per-task absorb (not per-chunk) so fail-fast aborts mid-chunk and
+    # checkpoints land as each task finishes; prepare semantics match
+    # _run_chunk's first-entry placement exactly.
     for chunk in chunks:
-        for index, base, item in chunk:
+        items = [item for _index, _base, item in chunk]
+        for pos, (index, base, item) in enumerate(chunk):
             state.absorb(
-                _attempt_task(fn, item, index, base, policy, chaos,
-                              in_worker=False)
+                _attempt_task(
+                    fn, item, index, base, policy, chaos, in_worker=False,
+                    prepare=prepare if pos == 0 else None,
+                    chunk_items=items if pos == 0 else None,
+                )
             )
 
 
@@ -727,7 +765,8 @@ def _expire_wave(inflight: dict, policy: TaskPolicy, state: _SweepState) -> None
             ))
 
 
-def _run_pooled(fn, chunks, jobs, policy, chaos, state: _SweepState) -> None:
+def _run_pooled(fn, chunks, jobs, policy, chaos, state: _SweepState,
+                prepare=None) -> None:
     """Future-based chunk execution with broken-pool recovery.
 
     Chunks are resubmitted whole after a crash: a fresh worker re-runs
@@ -752,7 +791,9 @@ def _run_pooled(fn, chunks, jobs, policy, chaos, state: _SweepState) -> None:
             if policy.timeout_s is not None:
                 deadline = time.monotonic() + _wave_budget(pending, policy)
             inflight = {
-                pool.submit(_run_chunk, fn, chunk, policy, chaos, True): chunk
+                pool.submit(
+                    _run_chunk, fn, chunk, policy, chaos, True, prepare
+                ): chunk
                 for chunk in pending
             }
             pending = []
@@ -816,7 +857,7 @@ def _run_pooled(fn, chunks, jobs, policy, chaos, state: _SweepState) -> None:
                 rebuilds=rebuilds,
                 remaining_tasks=sum(len(c) for c in pending),
             )
-            _run_serial(fn, pending, policy, chaos, state)
+            _run_serial(fn, pending, policy, chaos, state, prepare=prepare)
             return
 
 
@@ -830,6 +871,7 @@ def run_sweep(
     record: bool = True,
     policy: TaskPolicy | None = None,
     chaos: ChaosPolicy | None = None,
+    prepare_chunk: Callable | None = None,
 ) -> tuple[list[R], SweepTiming]:
     """Map ``fn`` over ``items``, preserving order, with fault tolerance.
 
@@ -839,6 +881,15 @@ def run_sweep(
     ``chunksize`` controls how many consecutive tasks form one unit of
     worker placement; drivers pass the inner-loop length so one worker
     runs all of a benchmark's chip models and reuses its memoized trace.
+
+    ``prepare_chunk``, when given, is a module-level callable invoked
+    with each chunk's full item list inside the chunk's *first* task
+    (within its metrics window, deadline, and retry loop) before that
+    task's ``fn`` runs.  Drivers use it to warm per-process caches for a
+    whole chunk at once — e.g. lockstep-batched trace generation across
+    the chunk's simulations.  It must be idempotent: it re-runs on
+    retries and on chunk resubmission after a worker crash, each time
+    from exactly the cache state a clean first run would have seen.
 
     ``policy`` (default: :func:`set_default_policy`, else no retries,
     fail fast) governs retries, timeouts, error collection, and pool
@@ -881,9 +932,11 @@ def run_sweep(
     try:
         if pending_chunks:
             if jobs == 1:
-                _run_serial(fn, pending_chunks, policy, chaos, state)
+                _run_serial(fn, pending_chunks, policy, chaos, state,
+                            prepare=prepare_chunk)
             else:
-                _run_pooled(fn, pending_chunks, jobs, policy, chaos, state)
+                _run_pooled(fn, pending_chunks, jobs, policy, chaos, state,
+                            prepare=prepare_chunk)
     except KeyboardInterrupt:
         events.emit(
             "sweep_interrupted",
@@ -928,10 +981,11 @@ def parallel_map(
     label: str = "sweep",
     policy: TaskPolicy | None = None,
     chaos: ChaosPolicy | None = None,
+    prepare_chunk: Callable | None = None,
 ) -> list[R]:
     """:func:`run_sweep` without the timing handle (it is still recorded)."""
     results, _ = run_sweep(
         fn, items, jobs=jobs, chunksize=chunksize, label=label,
-        policy=policy, chaos=chaos,
+        policy=policy, chaos=chaos, prepare_chunk=prepare_chunk,
     )
     return results

@@ -21,6 +21,7 @@ from repro.experiments.runner import (
     DEFAULT_WINDOW,
     SimTask,
     SimulationWindow,
+    prime_sim_tasks,
     run_sim_task,
 )
 from repro.workloads.profiles import WorkloadProfile, spec2k_suite
@@ -59,8 +60,16 @@ def fig6_performance(
     benchmarks: list[WorkloadProfile] | None = None,
     models: tuple[ChipModel, ...] = _MODELS,
     jobs: int | None = None,
+    chunksize: int | None = None,
 ) -> list[Fig6Row]:
-    """IPC of every benchmark on every chip model (Figure 6)."""
+    """IPC of every benchmark on every chip model (Figure 6).
+
+    ``chunksize`` defaults to the inner-loop length (one benchmark's
+    chip models), which keeps each benchmark's memoized trace on one
+    worker.  A larger multiple of ``len(models)`` groups several
+    benchmarks per chunk, letting ``prime_sim_tasks`` generate their
+    traces in one lockstep batch — results are identical either way.
+    """
     benchmarks = benchmarks if benchmarks is not None else spec2k_suite()
     tasks = [
         SimTask(
@@ -75,8 +84,9 @@ def fig6_performance(
         for chip in models
     ]
     results = engine.parallel_map(
-        run_sim_task, tasks, jobs=jobs, chunksize=len(models),
-        label="fig6_performance",
+        run_sim_task, tasks, jobs=jobs,
+        chunksize=chunksize if chunksize is not None else len(models),
+        label="fig6_performance", prepare_chunk=prime_sim_tasks,
     )
     rows = []
     for b, profile in enumerate(benchmarks):
@@ -128,7 +138,7 @@ def nuca_policy_comparison(
     ]
     results = engine.parallel_map(
         run_sim_task, tasks, jobs=jobs, chunksize=len(policies),
-        label="nuca_policy_comparison",
+        label="nuca_policy_comparison", prepare_chunk=prime_sim_tasks,
     )
     totals = {policy: 0.0 for policy in policies}
     for i, task in enumerate(tasks):
@@ -163,7 +173,7 @@ def l2_statistics(
     ]
     results = engine.parallel_map(
         run_sim_task, tasks, jobs=jobs, chunksize=len(configs),
-        label="l2_statistics",
+        label="l2_statistics", prepare_chunk=prime_sim_tasks,
     )
     misses = {tag: 0.0 for _chip, tag in configs}
     latency = {tag: 0.0 for _chip, tag in configs}

@@ -36,6 +36,8 @@ __all__ = [
     "SimTask",
     "run_sim_task",
     "run_sim_task_with_metrics",
+    "prime_sim_tasks",
+    "run_batch",
     "DEFAULT_WINDOW",
 ]
 
@@ -225,6 +227,47 @@ def run_sim_task(task: SimTask) -> LeadingRunResult | RmtTimingResult:
             checker_peak_ratio=task.checker_peak_ratio,
         )
     raise ValueError(f"unknown simulation kind {task.kind!r}")
+
+
+def prime_sim_tasks(tasks) -> None:
+    """Warm the trace cache for a batch of :class:`SimTask` in lockstep.
+
+    The engine's ``prepare_chunk`` hook for simulation sweeps: collects
+    the distinct ``(profile, seed)`` streams a chunk needs (at each
+    stream's longest requested window) and generates them through one
+    :func:`~repro.isa.trace.generate_arrays_batch` pass, so a chunk
+    spanning several benchmarks pays one set of NumPy kernel invocations
+    instead of one per stream.  Idempotent — already-long-enough streams
+    are skipped — and bit-identical to solo generation, so priming never
+    changes a simulation's result.  A batch containing anything other
+    than :class:`SimTask` is left alone (the hook is a pure
+    optimization).
+    """
+    tasks = list(tasks)
+    if not all(isinstance(task, SimTask) for task in tasks):
+        return
+    needs: dict[tuple[WorkloadProfile, int], int] = {}
+    for task in tasks:
+        key = (task.profile, task.seed)
+        needs[key] = max(needs.get(key, 0), task.window.total)
+    memo.get_cache().prime_trace_batch(
+        [(profile, seed, count) for (profile, seed), count in needs.items()]
+    )
+
+
+def run_batch(tasks) -> list[LeadingRunResult | RmtTimingResult]:
+    """Run several :class:`SimTask` with batched trace generation.
+
+    Primes every distinct trace stream in one lockstep pass
+    (:func:`prime_sim_tasks`), then runs the tasks in order in this
+    process.  Results are identical to ``[run_sim_task(t) for t in
+    tasks]`` — batching only changes how the shared immutable artifacts
+    are produced.  Sweep drivers get the same effect across processes by
+    passing ``prepare_chunk=prime_sim_tasks`` to the engine.
+    """
+    tasks = list(tasks)
+    prime_sim_tasks(tasks)
+    return [run_sim_task(task) for task in tasks]
 
 
 def run_sim_task_with_metrics(

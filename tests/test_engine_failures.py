@@ -103,6 +103,17 @@ def _stubborn_even(x):
     return x * 2
 
 
+def _swallow_first_alarm(x):
+    # Swallows exactly one in-process alarm, then keeps sleeping.  Only
+    # the repeating interval timer (which re-fires every period) can end
+    # it; a one-shot alarm would leave it sleeping for 30s.
+    try:
+        time.sleep(30.0)
+    except BaseException:
+        time.sleep(30.0)
+    return x
+
+
 def _record_call(item):
     value, marker = item
     with open(marker, "a") as fh:
@@ -365,6 +376,20 @@ class TestTimeouts:
         failure = excinfo.value.failures[0]
         assert isinstance(failure, TaskTimeoutError)
         assert failure.timeout_s == 0.2
+
+    def test_swallowed_alarm_rearms_in_process(self):
+        # A task that catches the first _TaskTimeout must still die: the
+        # deadline timer repeats at the timeout interval, so the second
+        # firing lands inside the task's recovery sleep.  With a one-shot
+        # timer this would hang for the worker's full 30s sleep.
+        start = time.monotonic()
+        with pytest.raises(SweepAbortedError) as excinfo:
+            run_sweep(
+                _swallow_first_alarm, [5], jobs=1,
+                policy=TaskPolicy(timeout_s=0.2),
+            )
+        assert isinstance(excinfo.value.failures[0], TaskTimeoutError)
+        assert time.monotonic() - start < 10.0
 
 
 class TestControllerDeadline:

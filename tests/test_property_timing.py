@@ -73,3 +73,62 @@ def test_commit_gate_is_respected(gate):
     core = _core()
     instr = Instruction(0, OpClass.IALU, dst=1, src1=30, src2=30, pc=0)
     assert core.schedule(instr, commit_gate=gate) >= gate
+
+
+# ---------------------------------------------------------------------
+# consume_window vs the scalar oracle.  Windows of random op mixes under
+# random frequency-ratio switches at window boundaries: the batched
+# checker consume must reproduce consume_op's check-commit times exactly.
+
+_ROW = st.tuples(
+    st.integers(0, 3),                 # FU pool
+    st.integers(-1, 70),               # src1 (out-of-range values too)
+    st.integers(-1, 70),               # src2
+    st.integers(-1, 62),               # dst (-1 = no writeback)
+    st.integers(1, 12),                # execution latency
+    st.floats(0.0, 6.0),               # arrival gap to the previous row
+)
+
+
+@given(
+    rvp=st.booleans(),
+    windows=st.lists(
+        st.tuples(
+            st.sampled_from([0.1, 0.3, 0.5, 0.8, 1.0]),  # ratio for the window
+            st.lists(_ROW, min_size=0, max_size=60),
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_consume_window_matches_scalar_oracle(rvp, windows):
+    import numpy as np
+
+    from repro.core.checker import InOrderCheckerTiming
+
+    config = CheckerCoreConfig(uses_register_value_prediction=rvp)
+    batched = InOrderCheckerTiming(config)
+    scalar = InOrderCheckerTiming(config)
+    clock = 0.0
+    for ratio, rows in windows:
+        # Both sides switch frequency at the same window boundary, like
+        # the RMT harness does at DFS interval edges.
+        batched.set_frequency_ratio(ratio)
+        scalar.set_frequency_ratio(ratio)
+        available = []
+        for *_fields, gap in rows:
+            clock += gap
+            available.append(clock)
+        columns = [
+            np.array([row[i] for row in rows], dtype=np.int64)
+            for i in range(5)
+        ]
+        got = batched.consume_window(
+            *columns, np.array(available, dtype=np.float64)
+        )
+        expected = [
+            scalar.consume_op(pool, s1, s2, dst, lat, avail)
+            for (pool, s1, s2, dst, lat, _gap), avail in zip(rows, available)
+        ]
+        assert got.tolist() == expected

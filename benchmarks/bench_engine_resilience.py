@@ -10,7 +10,9 @@ Two guarantees ride on this file:
 * a real CLI invocation survives aggressive chaos (worker kills plus
   injected first-attempt failures) end to end: ``python -m repro fig6
   --chaos worker-kill:0.9,task-fail:0.9 --retries 2`` exits 0 and writes
-  a run manifest.
+  a run manifest — once on the default local pool and once on the
+  socket backend, where the kills surface as lost workers whose chunks
+  requeue onto survivors (or degrade down the chain when none is left).
 """
 
 import json
@@ -131,3 +133,43 @@ def test_cli_survives_chaos(tmp_path):
     assert sweep["tasks"] == 8
     assert sweep["failures"] == 0
     assert sweep["pool_rebuilds"] >= 1   # the kills really fired
+
+
+@pytest.mark.slow
+def test_cli_survives_chaos_on_socket_backend(tmp_path):
+    """The same chaos smoke on ``--executor socket``: worker kills show
+    up as lost TCP workers; the sweep must still complete with zero
+    failures, via requeue onto survivors and — when every worker is
+    gone — degradation down the backend chain."""
+    repo = Path(__file__).resolve().parent.parent
+    manifest_path = tmp_path / "manifest.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo / "src")
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "fig6",
+            "--benchmarks", "gzip,mcf", "--window", "1500", "--jobs", "2",
+            "--executor", "socket", "--retries", "2",
+            "--chaos", "worker-kill:0.4,heartbeat-drop:0.3,result-dup:0.5,seed:1",
+            "--metrics", str(manifest_path),
+        ],
+        cwd=repo,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    manifest = json.loads(manifest_path.read_text())
+    assert manifest["executor"] == "socket"
+    sweep = manifest["sweeps"][0]
+    print_table(
+        "CLI socket chaos smoke (kills + heartbeat drops + dup frames)",
+        ["tasks", "failures", "lost workers", "requeues", "dup results"],
+        [[sweep["tasks"], sweep["failures"], sweep["lost_workers"],
+          sweep["requeues"], sweep["duplicate_results"]]],
+    )
+    assert sweep["tasks"] == 8
+    assert sweep["failures"] == 0
+    assert sweep["executor"] == "socket"
+    assert sweep["lost_workers"] >= 1    # a kill or drop really fired

@@ -309,11 +309,17 @@ def _cmd_gc(args) -> None:
     verb = "would remove" if args.dry_run else "removed"
     for run_id in report.removed:
         _say(f"  {verb} {run_id}")
-    _say(
+    for run_id in report.skipped:
+        _say(f"  skipped {run_id} (unreadable)")
+    summary = (
         f"{verb} {len(report.removed)} run(s) "
-        f"({report.reclaimed_bytes / 1024:.1f} KiB), "
+        f"({report.reclaimed_files} file(s), "
+        f"{report.reclaimed_bytes / 1024:.1f} KiB), "
         f"kept {len(report.kept)}"
     )
+    if report.skipped:
+        summary += f", skipped {len(report.skipped)}"
+    _say(summary)
 
 
 def _cmd_hetero(args) -> None:
@@ -394,6 +400,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", type=int, default=None,
                        help="worker processes for sweeps (default: "
                             "REPRO_JOBS or cpu count)")
+        p.add_argument("--executor", default=None,
+                       choices=("inline", "local", "socket"),
+                       help="sweep executor backend (default: "
+                            "REPRO_EXECUTOR, else inline for --jobs 1 "
+                            "and local otherwise)")
         p.add_argument("--retries", type=int, default=None,
                        help="re-executions allowed per failed sweep task "
                             "(default: REPRO_RETRIES or 0)")
@@ -453,6 +464,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     try:
         engine.set_default_jobs(args.jobs)
+        engine.set_default_executor(args.executor)
         overrides = {
             field: value
             for field, value in (
@@ -483,6 +495,11 @@ def main(argv: list[str] | None = None) -> int:
                 run_id=run_id,
                 metrics=engine.run_metrics(run_id).as_dict(),
                 sweeps=engine.timing_summary(run_id),
+                extra={
+                    "executor": engine.resolve_executor(
+                        args.executor, engine.resolve_jobs(args.jobs)
+                    ),
+                },
             )
             _say(f"wrote run manifest {args.metrics}")
         return 0
@@ -502,6 +519,7 @@ def main(argv: list[str] | None = None) -> int:
         return 130
     finally:
         engine.set_default_jobs(None)
+        engine.set_default_executor(None)
         engine.set_default_policy(None)
         checkpoint_mod.set_checkpoint_dir(None)
         chaos_mod.set_chaos(None)

@@ -56,9 +56,18 @@ from repro.experiments.engine import (
     TaskPolicy,
     format_timing_summary,
     parallel_map,
+    resolve_executor,
     resolve_jobs,
     run_sweep,
+    set_default_executor,
     timing_summary,
+)
+from repro.experiments.executors import (
+    Executor,
+    InlineExecutor,
+    LocalPoolExecutor,
+    SocketExecutor,
+    make_executor,
 )
 from repro.experiments.runner import (
     DEFAULT_WINDOW,
@@ -131,6 +140,13 @@ __all__ = [
     "slack_comparison",
     "table5_pipeline_power",
     "ChaosPolicy",
+    "Executor",
+    "InlineExecutor",
+    "LocalPoolExecutor",
+    "SocketExecutor",
+    "make_executor",
+    "resolve_executor",
+    "set_default_executor",
     "DEFAULT_WINDOW",
     "SimTask",
     "SimulationWindow",

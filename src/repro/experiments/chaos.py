@@ -12,6 +12,18 @@ trouble into sweep tasks:
   controller as a ``BrokenProcessPool``), only ever inside pool workers;
 * ``task-delay`` — sleep before the task body runs.
 
+PR 7 adds *transport* faults for the pluggable executor backends
+(:mod:`repro.experiments.executors`):
+
+* ``heartbeat-drop`` — a socket worker suppresses its heartbeat frames
+  while running the chunk whose first entry the decision names, so the
+  controller declares it lost and requeues the chunk;
+* ``result-dup`` — a worker sends a task's result frame twice (the
+  at-most-once commit must drop the second copy);
+* ``result-delay`` — a worker holds a result frame back for
+  ``frame_delay_s`` before sending it (exercises late results racing a
+  requeued rerun).
+
 Two rules make chaos compatible with the engine's determinism contract
 (results, merged metrics, and manifests bit-identical to an undisturbed
 run):
@@ -59,21 +71,32 @@ def hash01(text: str) -> float:
 
 @dataclass(frozen=True)
 class ChaosPolicy:
-    """Probabilities (and a seed) for the three injection kinds."""
+    """Probabilities (and a seed) for the task and transport injections."""
 
     fail_p: float = 0.0
     kill_p: float = 0.0
     delay_p: float = 0.0
     delay_s: float = 0.01
+    hb_drop_p: float = 0.0
+    dup_result_p: float = 0.0
+    frame_delay_p: float = 0.0
+    frame_delay_s: float = 0.05
     seed: int = 0
 
     def __post_init__(self):
-        for name in ("fail_p", "kill_p", "delay_p"):
+        for name in (
+            "fail_p", "kill_p", "delay_p",
+            "hb_drop_p", "dup_result_p", "frame_delay_p",
+        ):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ConfigError(f"chaos {name} must be in [0, 1], got {p}")
         if self.delay_s < 0:
             raise ConfigError(f"chaos delay_s must be >= 0, got {self.delay_s}")
+        if self.frame_delay_s < 0:
+            raise ConfigError(
+                f"chaos frame_delay_s must be >= 0, got {self.frame_delay_s}"
+            )
 
     def _roll(self, kind: str, index: int) -> float:
         return hash01(f"{self.seed}:{kind}:{index}")
@@ -89,6 +112,28 @@ class ChaosPolicy:
     def delays(self, index: int, attempt: int) -> bool:
         """Whether the task at ``index`` gets an injected delay."""
         return attempt == 0 and self._roll("delay", index) < self.delay_p
+
+    # -- transport faults (executor backends) --------------------------
+    # All follow the same two determinism rules: decided purely from
+    # ``(seed, kind, index)`` and fired only on a chunk's first pass
+    # (``attempt == 0``), so a requeued rerun always runs clean and both
+    # sides of the wire can attribute a loss they observe indirectly.
+
+    def drops_heartbeat(self, index: int, attempt: int) -> bool:
+        """Whether a worker running the chunk whose first entry is
+        ``index`` suppresses its heartbeats (controller will requeue)."""
+        return attempt == 0 and self._roll("hb", index) < self.hb_drop_p
+
+    def duplicates_result(self, index: int, attempt: int) -> bool:
+        """Whether the result frame of task ``index`` is sent twice."""
+        return attempt == 0 and self._roll("dup", index) < self.dup_result_p
+
+    def delays_result(self, index: int, attempt: int) -> bool:
+        """Whether the result frame of task ``index`` is held back for
+        ``frame_delay_s`` before sending."""
+        return (
+            attempt == 0 and self._roll("frame", index) < self.frame_delay_p
+        )
 
     def inject(self, index: int, attempt: int, in_worker: bool) -> None:
         """Apply this policy ahead of one task attempt.
@@ -115,9 +160,11 @@ class ChaosPolicy:
         Comma-separated ``kind:value`` fields; kinds are ``task-fail``
         (or ``fail``), ``worker-kill`` (``kill``), ``task-delay``
         (``delay``, with an optional second value for the sleep in
-        seconds), and ``seed``.  Example::
+        seconds), the transport kinds ``heartbeat-drop`` (``hb-drop``),
+        ``result-dup`` (``dup``), ``result-delay`` (optional second
+        value: hold-back seconds), and ``seed``.  Example::
 
-            worker-kill:0.1,task-fail:0.05,task-delay:0.02:0.5,seed:7
+            worker-kill:0.1,heartbeat-drop:0.2,result-dup:0.1,seed:7
         """
         values: dict = {}
         for field in spec.split(","):
@@ -135,6 +182,14 @@ class ChaosPolicy:
                     values["delay_p"] = float(parts[1])
                     if len(parts) > 2:
                         values["delay_s"] = float(parts[2])
+                elif kind in ("heartbeat-drop", "hb-drop"):
+                    values["hb_drop_p"] = float(parts[1])
+                elif kind in ("result-dup", "dup"):
+                    values["dup_result_p"] = float(parts[1])
+                elif kind in ("result-delay", "frame-delay"):
+                    values["frame_delay_p"] = float(parts[1])
+                    if len(parts) > 2:
+                        values["frame_delay_s"] = float(parts[2])
                 elif kind == "seed":
                     values["seed"] = int(parts[1])
                 else:

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.common.errors import ConfigError
+from repro.obs import events
 
 __all__ = [
     "set_checkpoint_dir",
@@ -81,20 +82,32 @@ class SweepCheckpoint:
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self.records: dict[str, dict] = {}
+        self.truncated_lines = 0
         torn = False
         if self.path.exists():
             text = self.path.read_text(encoding="utf-8")
             torn = bool(text) and not text.endswith("\n")
             for line in text.splitlines():
+                if not line.strip():
+                    continue
                 try:
                     record = json.loads(line)
-                except json.JSONDecodeError:
-                    # A torn final line from a hard kill; everything
-                    # before it is intact, the task just re-runs.
+                    record["key"]
+                except (json.JSONDecodeError, TypeError, KeyError):
+                    # A torn line from a hard kill mid-write; everything
+                    # before it is intact, the affected task re-runs.
+                    self.truncated_lines += 1
                     continue
                 self.records[record["key"]] = record
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.truncated_lines:
+            events.emit(
+                "checkpoint_truncated",
+                path=str(self.path),
+                skipped_lines=self.truncated_lines,
+                restored_records=len(self.records),
+            )
         self._fh = self.path.open("a", encoding="utf-8")
         if torn:
             # Seal the torn line so the next append starts fresh.
@@ -119,15 +132,30 @@ class SweepCheckpoint:
         self.records[key] = record
 
     def restore(self, key: str) -> tuple[object, float, object] | None:
-        """The stored ``(result, wall_s, metrics)`` for ``key``, if any."""
+        """The stored ``(result, wall_s, metrics)`` for ``key``, if any.
+
+        A record whose payload does not decode (truncated base64 or
+        pickle from a torn write) is treated as missing — the task
+        simply re-runs — rather than aborting the resume.
+        """
         record = self.records.get(key)
         if record is None:
             return None
-        return (
-            _decode(record["result"]),
-            float(record["wall_s"]),
-            _decode(record["metrics"]),
-        )
+        try:
+            return (
+                _decode(record["result"]),
+                float(record["wall_s"]),
+                _decode(record["metrics"]),
+            )
+        except Exception:
+            self.records.pop(key, None)
+            events.emit(
+                "checkpoint_truncated",
+                path=str(self.path),
+                skipped_lines=1,
+                task_key=key,
+            )
+            return None
 
     def close(self) -> None:
         """Flush and close the underlying file."""
@@ -153,13 +181,16 @@ class GcReport:
 
     removed: list[str] = field(default_factory=list)
     kept: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
     reclaimed_bytes: int = 0
+    reclaimed_files: int = 0
     dry_run: bool = False
 
 
 def _run_mtime(run_dir: Path) -> float:
     """A run's last activity: the newest mtime among its files (appends
-    touch the files, not the directory)."""
+    touch the files, not the directory).  Raises ``OSError`` only when
+    the run directory itself is unreadable."""
     newest = run_dir.stat().st_mtime
     for path in run_dir.rglob("*"):
         try:
@@ -169,10 +200,23 @@ def _run_mtime(run_dir: Path) -> float:
     return newest
 
 
-def _run_size(run_dir: Path) -> int:
-    return sum(
-        path.stat().st_size for path in run_dir.rglob("*") if path.is_file()
-    )
+def _run_size(run_dir: Path) -> tuple[int, int]:
+    """Total ``(bytes, file_count)`` under one run directory, skipping
+    entries that cannot be stat'ed."""
+    total = 0
+    count = 0
+    try:
+        paths = list(run_dir.rglob("*"))
+    except OSError:
+        return 0, 0
+    for path in paths:
+        try:
+            if path.is_file():
+                total += path.stat().st_size
+                count += 1
+        except OSError:
+            continue
+    return total, count
 
 
 def gc_checkpoints(
@@ -188,7 +232,10 @@ def gc_checkpoints(
     ``max_age_days`` — at least one knob must be given.  Activity is the
     newest file mtime inside the run, so a long sweep that is still
     appending never looks stale.  With ``dry_run`` nothing is deleted;
-    the report lists what a real pass would reclaim.
+    the report lists what a real pass would reclaim, including the byte
+    and file counts.  A run directory whose entries cannot be read
+    (permissions, races with concurrent deletion) is skipped — listed in
+    ``report.skipped`` — instead of aborting the pass.
     """
     if keep_last is None and max_age_days is None:
         raise ConfigError(
@@ -203,21 +250,31 @@ def gc_checkpoints(
     root = Path(root)
     if not root.is_dir():
         return report
-    runs = sorted(
-        (path for path in root.iterdir() if path.is_dir()),
-        key=lambda path: (-_run_mtime(path), path.name),
-    )
+    mtimes: dict[str, float] = {}
+    runs = []
+    for path in sorted(root.iterdir()):
+        try:
+            if not path.is_dir():
+                continue
+            mtimes[path.name] = _run_mtime(path)
+        except OSError:
+            report.skipped.append(path.name)
+            continue
+        runs.append(path)
+    runs.sort(key=lambda path: (-mtimes[path.name], path.name))
     now = time.time()
     for rank, run_dir in enumerate(runs):
         stale = (keep_last is not None and rank >= keep_last) or (
             max_age_days is not None
-            and now - _run_mtime(run_dir) > max_age_days * 86400.0
+            and now - mtimes[run_dir.name] > max_age_days * 86400.0
         )
         if not stale:
             report.kept.append(run_dir.name)
             continue
         report.removed.append(run_dir.name)
-        report.reclaimed_bytes += _run_size(run_dir)
+        size, files = _run_size(run_dir)
+        report.reclaimed_bytes += size
+        report.reclaimed_files += files
         if not dry_run:
             shutil.rmtree(run_dir, ignore_errors=True)
     return report

@@ -5,20 +5,29 @@ model x policy)`` simulations, so the drivers submit their task lists here
 instead of running nested loops inline.  The engine provides:
 
 * :func:`parallel_map` / :func:`run_sweep` — order-preserving map over a
-  :class:`~concurrent.futures.ProcessPoolExecutor` with chunked,
-  future-based submission (chunks keep a worker on one benchmark's tasks
-  so its per-process artifact cache gets hits; see
-  :mod:`repro.common.memo`);
+  pluggable executor backend (:mod:`repro.experiments.executors`) with
+  chunked submission (chunks keep a worker on one benchmark's tasks so
+  its per-process artifact cache gets hits; see :mod:`repro.common.memo`);
 * a worker-count policy: an explicit ``jobs`` argument wins, then the
   ``REPRO_JOBS`` environment variable, then ``os.cpu_count()``.
-  ``jobs=1`` is a pure in-process serial loop — no executor, no pickling —
-  so ``pdb``, profilers, and coverage keep working;
+  Backend selection mirrors it: ``executor=`` argument, then the CLI's
+  ``--executor``, then ``REPRO_EXECUTOR``, then ``inline`` for one
+  worker (a pure in-process loop — no executor processes, no pickling —
+  so ``pdb``, profilers, and coverage keep working) and the ``local``
+  process pool otherwise; ``socket`` runs long-lived TCP workers;
+* a backend-agnostic scheduler loop driven by per-chunk **leases**
+  (deadline = the wave's worst-case serial budget) and worker
+  **heartbeats**: a missed heartbeat or expired lease requeues the
+  chunk onto a surviving worker where the backend supports it, results
+  commit **at most once** per task key (a slow original completing
+  after its requeued twin cannot double-count), and repeated backend
+  failure degrades down the chain ``socket -> local -> inline``;
 * a resilience policy (:class:`TaskPolicy`): per-task retries with
   exponential backoff and deterministic jitter, a per-task timeout that
   kills hung attempts from inside the worker, fail-fast vs.
   collect-errors modes, transparent rebuild of a broken worker pool
-  (``BrokenProcessPool``), and graceful degradation to serial execution
-  after repeated worker deaths;
+  (``BrokenProcessPool``), and graceful degradation after repeated
+  worker deaths;
 * sweep checkpointing (:mod:`repro.experiments.checkpoint`): completed
   task results append to a JSONL file keyed by run id and task key, so an
   interrupted sweep resumes via ``--resume <run_id>`` and re-executes
@@ -48,21 +57,15 @@ one, which it could not if recovery events were counted there.
 
 from __future__ import annotations
 
+import itertools
 import os
-import signal
-import threading
 import time
-import traceback as traceback_mod
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
-from concurrent.futures import wait as futures_wait
-from concurrent.futures.process import BrokenProcessPool
-from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.common.errors import (
-    ChaosError,
     ConfigError,
+    ExecutorBrokenError,
     SweepAbortedError,
     TaskError,
     TaskTimeoutError,
@@ -70,14 +73,33 @@ from repro.common.errors import (
 )
 from repro.experiments import chaos as chaos_mod
 from repro.experiments import checkpoint as checkpoint_mod
+from repro.experiments import executors as executors_mod
 from repro.experiments.chaos import ChaosPolicy, hash01
+from repro.experiments.executors import (
+    EXECUTOR_ENV_VAR,
+    resolve_executor,
+    set_default_executor,
+)
 from repro.obs import events
-from repro.obs.metrics import MetricsSnapshot, get_registry, merge_snapshots
+from repro.obs.metrics import MetricsSnapshot, merge_snapshots
+
+# Worker-side execution moved to repro.experiments.executors in PR 7;
+# aliased here because engine is their historical home and the runner,
+# tests, and docs refer to them through this module.
+from repro.experiments.executors import (  # noqa: F401
+    _TaskOutcome,
+    _TaskTimeout,
+    _attempt_task,
+    _deadline,
+    _kill_pool_workers,
+    _run_chunk,
+)
 
 __all__ = [
     "JOBS_ENV_VAR",
     "RETRIES_ENV_VAR",
     "TASK_TIMEOUT_ENV_VAR",
+    "EXECUTOR_ENV_VAR",
     "TaskPolicy",
     "SweepTiming",
     "resolve_jobs",
@@ -85,6 +107,8 @@ __all__ = [
     "set_default_policy",
     "policy_from_env",
     "resolve_policy",
+    "resolve_executor",
+    "set_default_executor",
     "parallel_map",
     "run_sweep",
     "run_metrics",
@@ -125,7 +149,13 @@ class TaskPolicy:
     collected, failed slots return ``None``, and the sweep completes.
     A pool that keeps dying is rebuilt ``max_pool_rebuilds`` times, then
     the remaining tasks run serially in-process (``degrade_serial``) or
-    :class:`WorkerCrashError` is raised.
+    :class:`WorkerCrashError` is raised.  On backends that support
+    work-stealing requeue (the socket executor), a chunk stranded by a
+    lost worker or an expired lease is resubmitted to a surviving
+    worker at most ``max_requeues`` times before its unfinished tasks
+    are declared failed.  ``degrade_serial`` also governs the backend
+    degradation chain: when off, a broken backend raises instead of
+    falling back to the next one.
     """
 
     max_retries: int = 0
@@ -136,6 +166,7 @@ class TaskPolicy:
     fail_fast: bool = True
     max_pool_rebuilds: int = 3
     degrade_serial: bool = True
+    max_requeues: int = 3
 
     def __post_init__(self):
         if self.max_retries < 0:
@@ -151,6 +182,10 @@ class TaskPolicy:
         if self.max_pool_rebuilds < 0:
             raise ConfigError(
                 f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds}"
+            )
+        if self.max_requeues < 0:
+            raise ConfigError(
+                f"max_requeues must be >= 0, got {self.max_requeues}"
             )
 
     def backoff(self, task_index: int, attempt: int) -> float:
@@ -239,8 +274,14 @@ class SweepTiming:
     timeouts: int = 0        # attempts killed by the per-task timeout
     pool_rebuilds: int = 0   # BrokenProcessPool recoveries
     resumed_tasks: int = 0   # tasks restored from a checkpoint
-    degraded: bool = False   # fell back to serial after repeated crashes
+    degraded: bool = False   # fell down the backend chain mid-sweep
     empty: bool = False      # sweep had no tasks (not recorded)
+    executor: str = ""       # backend the sweep started on
+    backends: list[str] = field(default_factory=list)  # backends used, in order
+    requeues: int = 0        # chunks resubmitted after worker loss/lease expiry
+    lost_workers: int = 0    # workers declared dead (crash or heartbeat)
+    lease_expiries: int = 0  # chunk leases that expired at the controller
+    duplicate_results: int = 0  # late/duplicate commits dropped per task key
 
     @property
     def tasks(self) -> int:
@@ -308,6 +349,12 @@ def timing_summary(
             "pool_rebuilds": t.pool_rebuilds,
             "resumed_tasks": t.resumed_tasks,
             "degraded": t.degraded,
+            "executor": t.executor,
+            "backends": list(t.backends),
+            "requeues": t.requeues,
+            "lost_workers": t.lost_workers,
+            "lease_expiries": t.lease_expiries,
+            "duplicate_results": t.duplicate_results,
         }
         if include_metrics:
             row["metrics"] = (t.metrics or MetricsSnapshot()).as_dict()
@@ -384,177 +431,10 @@ def resolve_jobs(jobs: int | None = None) -> int:
 
 
 # ---------------------------------------------------------------------
-# Worker-side task execution: attempts, timeouts, chaos.
-#
-# A sweep entry is the tuple ``(index, base_attempt, item)``.
-# ``base_attempt`` is nonzero only after a chaos kill was attributed to
-# the task, so its rerun counts the consumed attempt and skips further
-# first-attempt injections.
-
-
-class _TaskTimeout(BaseException):
-    """Raised by the SIGALRM handler; BaseException so the task body
-    cannot swallow it with a broad ``except Exception``."""
-
-
-@contextmanager
-def _deadline(timeout_s: float | None):
-    """Kill the enclosed block after ``timeout_s`` via an interval timer.
-
-    Enforcement requires ``SIGALRM`` (Unix) and the main thread — both
-    true for pool workers and for the serial in-process path.  Anywhere
-    else the block runs unlimited rather than failing.
-
-    The timer is armed with a repeating interval equal to the timeout:
-    if a task body swallows the first :class:`_TaskTimeout` (a broad
-    ``except BaseException`` handler) the alarm re-fires one period
-    later, so an in-process (jobs=1) task cannot convert one caught
-    alarm into an unlimited run.  The ``finally`` disarm clears both the
-    pending expiry and the repeat interval.
-    """
-    usable = (
-        timeout_s is not None
-        and hasattr(signal, "setitimer")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not usable:
-        yield
-        return
-
-    def _on_alarm(signum, frame):
-        raise _TaskTimeout()
-
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout_s, timeout_s)
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
-
-
-@dataclass
-class _TaskOutcome:
-    """What one task's attempt loop produced (picklable)."""
-
-    index: int
-    ok: bool = False
-    result: object = None
-    wall_s: float = 0.0
-    metrics: MetricsSnapshot | None = None
-    attempts: int = 0        # attempts executed here (excludes base)
-    retries: int = 0         # failed attempts that were retried in place
-    timeouts: int = 0        # attempts killed by the per-task timeout
-    error_kind: str = ""     # "error" | "timeout" | "chaos"
-    error: str = ""
-    traceback: str = ""
-
-
-def _attempt_task(
-    fn: Callable[[T], R],
-    item: T,
-    index: int,
-    base_attempt: int,
-    policy: TaskPolicy,
-    chaos: ChaosPolicy | None,
-    in_worker: bool,
-    prepare: Callable | None = None,
-    chunk_items: Sequence | None = None,
-) -> _TaskOutcome:
-    """Run one task with in-place retries; never raises task errors.
-
-    Retries stay on the executing process on purpose: the retry then
-    sees exactly the memo-cache state a clean run would have, which is
-    part of the merged-metric determinism contract.  Failed attempts
-    call ``end_task`` purely to unwind the span stack — their metric
-    deltas are discarded.
-
-    ``prepare`` (the chunk's ``prepare_chunk`` hook, passed only to the
-    chunk's first entry) runs with the full ``chunk_items`` list inside
-    this task's metrics window and deadline, on *every* attempt: chaos
-    injections fire before ``begin_task``, so a killed first attempt did
-    no priming and the retry prepares from the same cold state a clean
-    run would have seen.  The hook must therefore be idempotent (warm
-    caches make it a no-op).
-    """
-    outcome = _TaskOutcome(index=index)
-    attempts_allowed = max(1, policy.max_retries + 1 - base_attempt)
-    registry = get_registry()
-    for n in range(attempts_allowed):
-        attempt = base_attempt + n
-        outcome.attempts = n + 1
-        if n:
-            delay = policy.backoff(index, attempt)
-            if delay:
-                time.sleep(delay)
-        try:
-            if chaos is not None:
-                chaos.inject(index, attempt, in_worker=in_worker)
-            mark = registry.begin_task()
-            try:
-                start = time.perf_counter()
-                with _deadline(policy.timeout_s):
-                    if prepare is not None:
-                        prepare(chunk_items)
-                    result = fn(item)
-                wall = time.perf_counter() - start
-                snapshot = registry.end_task(mark)
-            except BaseException:
-                registry.end_task(mark)
-                raise
-        except _TaskTimeout:
-            outcome.timeouts += 1
-            outcome.error_kind = "timeout"
-            outcome.error = f"task exceeded its {policy.timeout_s}s timeout"
-            outcome.traceback = traceback_mod.format_exc()
-        except ChaosError as exc:
-            outcome.error_kind = "chaos"
-            outcome.error = str(exc)
-            outcome.traceback = traceback_mod.format_exc()
-        except KeyboardInterrupt:
-            raise
-        except Exception as exc:
-            outcome.error_kind = "error"
-            outcome.error = f"{type(exc).__name__}: {exc}"
-            outcome.traceback = traceback_mod.format_exc()
-        else:
-            outcome.ok = True
-            outcome.result = result
-            outcome.wall_s = wall
-            outcome.metrics = snapshot
-            return outcome
-        if n + 1 < attempts_allowed:
-            outcome.retries += 1
-    return outcome
-
-
-def _run_chunk(
-    fn: Callable[[T], R],
-    entries: Sequence[tuple[int, int, T]],
-    policy: TaskPolicy,
-    chaos: ChaosPolicy | None,
-    in_worker: bool,
-    prepare: Callable | None = None,
-) -> list[_TaskOutcome]:
-    """Execute one chunk of entries in order (the pool's unit of work).
-
-    ``prepare`` runs inside the first entry's attempt with the whole
-    chunk's items, so batched warm-up work is attributed to the chunk
-    that benefits from it (see :func:`_attempt_task`).
-    """
-    items = [item for _index, _base, item in entries]
-    return [
-        _attempt_task(
-            fn, item, index, base, policy, chaos, in_worker,
-            prepare=prepare if pos == 0 else None,
-            chunk_items=items if pos == 0 else None,
-        )
-        for pos, (index, base, item) in enumerate(entries)
-    ]
-
-
-# ---------------------------------------------------------------------
-# Controller side: chunk scheduling, pool recovery, checkpointing.
+# Controller side: chunk scheduling, lease/heartbeat supervision,
+# backend degradation, checkpointing.  (Worker-side execution — the
+# attempt loop, SIGALRM deadline, and chunk runner — lives in
+# repro.experiments.executors and is re-exported above.)
 
 
 class _SweepState:
@@ -578,22 +458,51 @@ class _SweepState:
         self.walls: list[float] = [0.0] * n
         self.snapshots: list[MetricsSnapshot | None] = [None] * n
         self.failures: list[TaskError] = []
+        # At-most-once commit: task keys whose slot is already decided.
+        # A requeued chunk can race its slow original (or a chaos-
+        # duplicated result frame can arrive twice) — the first commit
+        # wins, every later arrival for the key is dropped.
+        self.committed: set[str] = set()
+
+    def is_committed(self, index: int) -> bool:
+        """Whether the task at ``index`` already has a committed outcome."""
+        return checkpoint_mod.task_key(self.tasks[index], index) in self.committed
 
     def restore(self, entry: tuple[int, int, object]) -> bool:
         """Fill one slot from the checkpoint; True when restored."""
         if self.ckpt is None:
             return False
         index, _base, item = entry
-        stored = self.ckpt.restore(checkpoint_mod.task_key(item, index))
+        key = checkpoint_mod.task_key(item, index)
+        stored = self.ckpt.restore(key)
         if stored is None:
             return False
         self.results[index], self.walls[index], self.snapshots[index] = stored
+        self.committed.add(key)
         self.timing.resumed_tasks += 1
         return True
 
     def absorb(self, outcome: _TaskOutcome) -> None:
-        """Fold one final task outcome into the sweep (and checkpoint)."""
+        """Fold one final task outcome into the sweep (and checkpoint).
+
+        Commits at most once per task key: a duplicate arrival (late
+        original after a requeue, or a chaos-duplicated result frame)
+        is counted and dropped, keeping results, metrics, and the
+        checkpoint identical to a single clean delivery.
+        """
         i = outcome.index
+        key = checkpoint_mod.task_key(self.tasks[i], i)
+        if key in self.committed:
+            self.timing.duplicate_results += 1
+            events.emit(
+                "duplicate_result_dropped",
+                run_id=self.timing.run_id,
+                label=self.label,
+                task_index=i,
+                task_key=key,
+            )
+            return
+        self.committed.add(key)
         self.timing.retries += outcome.retries
         self.timing.timeouts += outcome.timeouts
         if outcome.ok:
@@ -603,7 +512,7 @@ class _SweepState:
             if self.ckpt is not None:
                 item = self.tasks[i]
                 self.ckpt.append(
-                    checkpoint_mod.task_key(item, i),
+                    key,
                     i,
                     repr(item)[:160],
                     outcome.wall_s,
@@ -612,7 +521,6 @@ class _SweepState:
                 )
             return
         self.timing.failures += 1
-        key = checkpoint_mod.task_key(self.tasks[i], i)
         message = (
             f"sweep {self.label!r} task {i} failed after "
             f"{outcome.attempts} attempt(s): {outcome.error}"
@@ -647,8 +555,11 @@ class _SweepState:
 
     def absorb_chunk_error(self, chunk, exc: Exception) -> None:
         """An infrastructure failure lost a whole chunk (e.g. the result
-        would not unpickle); every task in it counts as failed."""
+        would not unpickle); every not-yet-committed task in it counts
+        as failed."""
         for index, base, _item in chunk:
+            if self.is_committed(index):
+                continue
             self.absorb(_TaskOutcome(
                 index=index,
                 attempts=base + 1,
@@ -671,7 +582,7 @@ def _bump_killed_entries(chunk, chaos: ChaosPolicy | None):
     ``BrokenProcessPool``.  Real (non-chaos) crashes resubmit unchanged.
     """
     if chaos is None:
-        return chunk
+        return list(chunk)
     return [
         (index, base + 1, item)
         if chaos.kills(index, base) else (index, base, item)
@@ -679,36 +590,26 @@ def _bump_killed_entries(chunk, chaos: ChaosPolicy | None):
     ]
 
 
-def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
-    """Best-effort terminate of pool workers on abnormal exits, so an
-    abort or Ctrl-C is not held hostage by a long or hung task.  Reaches
-    into executor internals, hence the broad guard."""
-    try:
-        processes = list((pool._processes or {}).values())
-    except Exception:
-        return
-    for process in processes:
-        try:
-            process.terminate()
-        except Exception:
-            pass
-
-
-def _run_serial(fn, chunks, policy, chaos, state: _SweepState,
-                prepare=None) -> None:
-    # Per-task absorb (not per-chunk) so fail-fast aborts mid-chunk and
-    # checkpoints land as each task finishes; prepare semantics match
-    # _run_chunk's first-entry placement exactly.
-    for chunk in chunks:
-        items = [item for _index, _base, item in chunk]
-        for pos, (index, base, item) in enumerate(chunk):
-            state.absorb(
-                _attempt_task(
-                    fn, item, index, base, policy, chaos, in_worker=False,
-                    prepare=prepare if pos == 0 else None,
-                    chunk_items=items if pos == 0 else None,
-                )
-            )
+def _bump_lost_entries(chunk, chaos: ChaosPolicy | None, reason: str):
+    """Attribute a lost socket worker to the chaos decisions that caused
+    it, consuming the disturbed first attempts so the requeued rerun is
+    injection-free.  ``crash`` losses attribute kills (same logic as the
+    pool's :func:`_bump_killed_entries`); ``heartbeat`` losses also
+    consume the chunk-level heartbeat drop, which is decided from the
+    first entry.  Lease-driven requeues (``reason='lease'``) resubmit
+    unchanged — a real hang carries no chaos decision to consume.
+    """
+    if chaos is None or reason == "lease":
+        return list(chunk)
+    bumped = []
+    for pos, (index, base, item) in enumerate(chunk):
+        bump = chaos.kills(index, base) or (
+            reason == "heartbeat"
+            and pos == 0
+            and chaos.drops_heartbeat(index, base)
+        )
+        bumped.append((index, base + 1, item) if bump else (index, base, item))
+    return bumped
 
 
 # Controller-deadline slack over the serial worst case: covers dispatch,
@@ -735,23 +636,61 @@ def _wave_budget(chunks, policy: TaskPolicy) -> float:
     return budget * _DEADLINE_SLACK + _DEADLINE_GRACE_S
 
 
-def _expire_wave(inflight: dict, policy: TaskPolicy, state: _SweepState) -> None:
-    """Declare every unfinished chunk of a wave timed out (the controller
-    backstop fired: the in-worker alarm never delivered a result inside
-    the wave's worst-case serial budget).  Raises ``SweepAbortedError``
-    via ``absorb`` under a fail-fast policy."""
-    expired = list(inflight.items())
-    inflight.clear()
-    events.emit(
-        "sweep_deadline_expired",
-        run_id=state.timing.run_id,
-        label=state.label,
-        unfinished_chunks=len(expired),
-        timeout_s=policy.timeout_s,
+def _drive_backend(fn, chunks, jobs, policy, chaos, state: _SweepState,
+                   prepare, backend: str) -> list:
+    """Run chunks to completion on one backend; return what it stranded.
+
+    The scheduler is backend-agnostic: it submits chunks with a lease
+    (deadline = the wave's worst-case serial budget, armed only when the
+    policy carries a per-task timeout), consumes the executor's event
+    stream, and supervises three failure paths —
+
+    * **worker loss** (socket EOF or missed heartbeats): the chunk is
+      requeued onto a surviving worker, at most
+      ``policy.max_requeues`` times, with the chaos decisions that
+      caused the loss attributed so the rerun is injection-free;
+    * **lease expiry**: on a requeue-capable backend the chunk's worker
+      is cancelled and the chunk requeued; elsewhere (inline, local
+      pool — the old wave-expiry semantics) its unfinished tasks are
+      declared timed out by the controller;
+    * **pool breakage**: counted against ``policy.max_pool_rebuilds``
+      and resubmitted whole onto a rebuilt pool.
+
+    A chunk that is resubmitted whole re-runs from a cold cache for its
+    task keys, so re-produced metric deltas are bit-identical and the
+    at-most-once commit can drop whichever copy arrives second.
+    Returns the chunks still unfinished when the backend broke for good
+    (``[]`` on normal completion); raises :class:`WorkerCrashError`
+    instead when ``policy.degrade_serial`` is off.
+    """
+    timing = state.timing
+    executor = executors_mod.make_executor(
+        backend, fn=fn, policy=policy, chaos=chaos, prepare=prepare,
+        jobs=max(1, min(jobs, len(chunks))),
     )
-    for future, chunk in expired:
-        future.cancel()
+    outstanding: dict[int, list] = {}
+    leases: dict[int, float | None] = {}
+    requeue_counts: dict[int, int] = {}
+    ids = itertools.count()
+    pool_rebuilds = 0
+
+    def submit_wave(wave) -> None:
+        deadline = None
+        if policy.timeout_s is not None:
+            deadline = time.monotonic() + _wave_budget(wave, policy)
+        for chunk in wave:
+            chunk_id = next(ids)
+            outstanding[chunk_id] = chunk
+            leases[chunk_id] = deadline
+            executor.submit_chunk(chunk_id, chunk)
+
+    def expire_chunk(chunk_id: int, chunk) -> None:
+        # The controller backstop fired: no result inside the worst-case
+        # serial budget.  Raises SweepAbortedError via absorb when the
+        # policy is fail-fast.
         for index, base, _item in chunk:
+            if state.is_committed(index):
+                continue
             state.absorb(_TaskOutcome(
                 index=index,
                 attempts=max(1, policy.max_retries + 1 - base),
@@ -764,101 +703,203 @@ def _expire_wave(inflight: dict, policy: TaskPolicy, state: _SweepState) -> None
                 ),
             ))
 
+    def requeue_chunk(chunk_id: int, reason: str) -> None:
+        chunk = _bump_lost_entries(outstanding[chunk_id], chaos, reason)
+        outstanding[chunk_id] = chunk
+        count = requeue_counts[chunk_id] = requeue_counts.get(chunk_id, 0) + 1
+        if count > policy.max_requeues:
+            outstanding.pop(chunk_id)
+            leases.pop(chunk_id, None)
+            if reason == "lease":
+                expire_chunk(chunk_id, chunk)
+                return
+            for index, base, _item in chunk:
+                if state.is_committed(index):
+                    continue
+                state.absorb(_TaskOutcome(
+                    index=index,
+                    attempts=base + 1,
+                    error_kind="error",
+                    error=(
+                        f"chunk abandoned after {count - 1} requeues "
+                        f"(last worker loss: {reason})"
+                    ),
+                ))
+            return
+        timing.requeues += 1
+        events.emit(
+            "chunk_requeued",
+            run_id=timing.run_id,
+            label=state.label,
+            chunk_id=chunk_id,
+            reason=reason,
+            requeues=count,
+        )
+        if policy.timeout_s is not None:
+            leases[chunk_id] = time.monotonic() + _wave_budget([chunk], policy)
+        executor.submit_chunk(chunk_id, chunk)
 
-def _run_pooled(fn, chunks, jobs, policy, chaos, state: _SweepState,
-                prepare=None) -> None:
-    """Future-based chunk execution with broken-pool recovery.
-
-    Chunks are resubmitted whole after a crash: a fresh worker re-runs
-    the chunk from a cold cache exactly like the first worker did, so
-    the re-produced metric deltas are bit-identical and nothing from the
-    aborted pass survives (its results died with the worker).
-
-    When the policy carries a per-task timeout, the controller also arms
-    a wave-level deadline (:func:`_wave_budget`).  The in-worker alarm is
-    the primary enforcement, but it cannot fire inside C extensions and a
-    pathological task can swallow it; a wave that outlives the budget has
-    its unfinished chunks declared timed out and its workers terminated,
-    so no sweep can hang the controller indefinitely.
-    """
-    pending = list(chunks)
-    rebuilds = 0
-    while pending:
-        pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
-        broken = False
-        try:
+    def handle_event(event) -> None:
+        nonlocal pool_rebuilds
+        if isinstance(event, executors_mod.ChunkStarted):
+            # A worker picked the chunk up: re-arm its lease to the
+            # chunk's own budget (tighter than the shared wave bound).
+            if event.chunk_id in outstanding and policy.timeout_s is not None:
+                leases[event.chunk_id] = time.monotonic() + _wave_budget(
+                    [outstanding[event.chunk_id]], policy
+                )
+        elif isinstance(event, executors_mod.TaskDone):
+            state.absorb(event.outcome)
+        elif isinstance(event, executors_mod.ChunkDone):
+            outstanding.pop(event.chunk_id, None)
+            leases.pop(event.chunk_id, None)
+        elif isinstance(event, executors_mod.ChunkFailed):
+            chunk = outstanding.pop(event.chunk_id, None)
+            leases.pop(event.chunk_id, None)
+            if chunk is not None:
+                state.absorb_chunk_error(chunk, event.error)
+        elif isinstance(event, executors_mod.WorkerLost):
+            timing.lost_workers += 1
+            events.emit(
+                "worker_lost",
+                run_id=timing.run_id,
+                label=state.label,
+                backend=backend,
+                worker=event.worker,
+                reason=event.reason,
+                chunks=len(event.chunk_ids),
+            )
+            for chunk_id in event.chunk_ids:
+                if chunk_id in outstanding:
+                    requeue_chunk(chunk_id, event.reason)
+        elif isinstance(event, executors_mod.PoolBroken):
+            pool_rebuilds += 1
+            timing.pool_rebuilds += 1
+            events.emit(
+                "pool_rebuilt",
+                run_id=timing.run_id,
+                label=state.label,
+                rebuilds=pool_rebuilds,
+                unfinished_tasks=sum(
+                    len(outstanding[cid]) for cid in event.chunk_ids
+                    if cid in outstanding
+                ),
+            )
+            wave = []
+            for chunk_id in event.chunk_ids:
+                chunk = outstanding.get(chunk_id)
+                if chunk is None:
+                    continue
+                # Attribute chaos kills before any resubmission or
+                # degradation handoff, so the rerun is injection-free.
+                chunk = _bump_killed_entries(chunk, chaos)
+                outstanding[chunk_id] = chunk
+                wave.append(chunk_id)
+            if pool_rebuilds > policy.max_pool_rebuilds:
+                if not policy.degrade_serial:
+                    raise WorkerCrashError(
+                        f"sweep {state.label!r}: worker pool died "
+                        f"{pool_rebuilds} times (max_pool_rebuilds="
+                        f"{policy.max_pool_rebuilds})",
+                        rebuilds=pool_rebuilds,
+                    )
+                raise ExecutorBrokenError(
+                    f"worker pool died {pool_rebuilds} times",
+                    backend=backend,
+                )
             deadline = None
             if policy.timeout_s is not None:
-                deadline = time.monotonic() + _wave_budget(pending, policy)
-            inflight = {
-                pool.submit(
-                    _run_chunk, fn, chunk, policy, chaos, True, prepare
-                ): chunk
-                for chunk in pending
-            }
-            pending = []
-            while inflight:
-                wait_s = None
-                if deadline is not None:
-                    wait_s = max(0.0, deadline - time.monotonic())
-                done, _ = futures_wait(
-                    inflight, timeout=wait_s, return_when=FIRST_COMPLETED
+                deadline = time.monotonic() + _wave_budget(
+                    [outstanding[cid] for cid in wave], policy
                 )
-                for future in done:
-                    chunk = inflight.pop(future)
-                    try:
-                        outcomes = future.result()
-                    except BrokenProcessPool:
-                        broken = True
-                        pending.append(_bump_killed_entries(chunk, chaos))
-                        continue
-                    except Exception as exc:
-                        state.absorb_chunk_error(chunk, exc)
-                        continue
-                    for outcome in outcomes:
-                        state.absorb(outcome)
-                if (
-                    inflight
-                    and not done
-                    and deadline is not None
-                    and time.monotonic() >= deadline
-                ):
-                    _expire_wave(inflight, policy, state)
-                    _kill_pool_workers(pool)
-        except BaseException:
-            _kill_pool_workers(pool)
-            raise
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
-        if not broken:
+            for chunk_id in wave:
+                leases[chunk_id] = deadline
+                executor.submit_chunk(chunk_id, outstanding[chunk_id])
+
+    remaining: list = []
+    broken = False
+    try:
+        submit_wave(chunks)
+        while outstanding:
+            wait_s = None
+            armed = [d for d in leases.values() if d is not None]
+            if armed:
+                wait_s = max(0.0, min(armed) - time.monotonic())
+            for event in executor.poll(wait_s):
+                handle_event(event)
+            if not armed:
+                continue
+            now = time.monotonic()
+            for chunk_id, deadline in list(leases.items()):
+                if deadline is None or deadline > now:
+                    continue
+                if chunk_id not in outstanding:
+                    leases.pop(chunk_id, None)
+                    continue
+                timing.lease_expiries += 1
+                events.emit(
+                    "lease_expired",
+                    run_id=timing.run_id,
+                    label=state.label,
+                    backend=backend,
+                    chunk_id=chunk_id,
+                    timeout_s=policy.timeout_s,
+                )
+                cancelled = executor.cancel(chunk_id)
+                if executor.supports_requeue and cancelled:
+                    requeue_chunk(chunk_id, "lease")
+                else:
+                    chunk = outstanding.pop(chunk_id)
+                    leases.pop(chunk_id, None)
+                    expire_chunk(chunk_id, chunk)
+    except ExecutorBrokenError:
+        broken = True
+        remaining = [outstanding[cid] for cid in sorted(outstanding)]
+        if not policy.degrade_serial:
+            executor.shutdown(kill=True)
+            raise WorkerCrashError(
+                f"sweep {state.label!r}: executor backend {backend!r} "
+                f"failed with {sum(len(c) for c in remaining)} task(s) "
+                "unfinished and degradation disabled",
+                rebuilds=pool_rebuilds,
+            ) from None
+    except BaseException:
+        executor.shutdown(kill=True)
+        raise
+    executor.shutdown(kill=broken)
+    return remaining
+
+
+def _run_with_executors(fn, chunks, jobs, policy, chaos, state: _SweepState,
+                        prepare, backend: str) -> None:
+    """Drive the sweep down the degradation chain starting at ``backend``.
+
+    Each broken backend hands its unfinished chunks to the next link
+    (``socket -> local -> inline``); ``inline`` is the in-process loop
+    and cannot break, so the chain always terminates.
+    """
+    chain = executors_mod.DEGRADATION_CHAIN
+    position = chain.index(backend)
+    pending = [list(chunk) for chunk in chunks]
+    while pending:
+        name = chain[position]
+        state.timing.backends.append(name)
+        pending = _drive_backend(
+            fn, pending, jobs, policy, chaos, state, prepare, name
+        )
+        if not pending:
             return
-        rebuilds += 1
-        state.timing.pool_rebuilds += 1
+        position += 1
+        state.timing.degraded = True
         events.emit(
-            "pool_rebuilt",
+            "sweep_degraded",
             run_id=state.timing.run_id,
             label=state.label,
-            rebuilds=rebuilds,
-            unfinished_tasks=sum(len(c) for c in pending),
+            backend=name,
+            fallback=chain[position],
+            rebuilds=state.timing.pool_rebuilds,
+            remaining_tasks=sum(len(c) for c in pending),
         )
-        if rebuilds > policy.max_pool_rebuilds:
-            if not policy.degrade_serial:
-                raise WorkerCrashError(
-                    f"sweep {state.label!r}: worker pool died "
-                    f"{rebuilds} times (max_pool_rebuilds="
-                    f"{policy.max_pool_rebuilds})",
-                    rebuilds=rebuilds,
-                )
-            state.timing.degraded = True
-            events.emit(
-                "sweep_degraded",
-                run_id=state.timing.run_id,
-                label=state.label,
-                rebuilds=rebuilds,
-                remaining_tasks=sum(len(c) for c in pending),
-            )
-            _run_serial(fn, pending, policy, chaos, state, prepare=prepare)
-            return
 
 
 # ---------------------------------------------------------------------
@@ -872,12 +913,16 @@ def run_sweep(
     policy: TaskPolicy | None = None,
     chaos: ChaosPolicy | None = None,
     prepare_chunk: Callable | None = None,
+    executor: str | None = None,
 ) -> tuple[list[R], SweepTiming]:
     """Map ``fn`` over ``items``, preserving order, with fault tolerance.
 
     ``fn`` must be a module-level callable and every item picklable when
-    more than one worker is used (tasks cross a process boundary).  With
-    ``jobs=1`` nothing is pickled and everything runs in-process.
+    the work leaves the process (the ``local`` and ``socket`` backends).
+    With ``jobs=1`` (the ``inline`` backend) nothing is pickled and
+    everything runs in-process.  ``executor`` picks the backend by name
+    (``inline``/``local``/``socket``; default per
+    :func:`~repro.experiments.executors.resolve_executor`).
     ``chunksize`` controls how many consecutive tasks form one unit of
     worker placement; drivers pass the inner-loop length so one worker
     runs all of a benchmark's chip models and reuses its memoized trace.
@@ -928,15 +973,13 @@ def run_sweep(
         pending_chunks.append(chunk)
     jobs = min(jobs, max(1, len(pending_chunks)))
     timing.jobs = jobs
+    backend = resolve_executor(executor, jobs)
+    timing.executor = backend
     start = time.perf_counter()
     try:
         if pending_chunks:
-            if jobs == 1:
-                _run_serial(fn, pending_chunks, policy, chaos, state,
-                            prepare=prepare_chunk)
-            else:
-                _run_pooled(fn, pending_chunks, jobs, policy, chaos, state,
-                            prepare=prepare_chunk)
+            _run_with_executors(fn, pending_chunks, jobs, policy, chaos,
+                                state, prepare_chunk, backend)
     except KeyboardInterrupt:
         events.emit(
             "sweep_interrupted",
@@ -969,6 +1012,9 @@ def run_sweep(
             timeouts=timing.timeouts,
             pool_rebuilds=timing.pool_rebuilds,
             resumed_tasks=timing.resumed_tasks,
+            executor=backend,
+            requeues=timing.requeues,
+            lost_workers=timing.lost_workers,
         )
     return state.results, timing
 
@@ -982,10 +1028,12 @@ def parallel_map(
     policy: TaskPolicy | None = None,
     chaos: ChaosPolicy | None = None,
     prepare_chunk: Callable | None = None,
+    executor: str | None = None,
 ) -> list[R]:
     """:func:`run_sweep` without the timing handle (it is still recorded)."""
     results, _ = run_sweep(
         fn, items, jobs=jobs, chunksize=chunksize, label=label,
         policy=policy, chaos=chaos, prepare_chunk=prepare_chunk,
+        executor=executor,
     )
     return results

@@ -128,7 +128,9 @@ def _render_markdown(data: dict) -> str:
             t for t in data["sweep_timings"]
             if t.get("failures") or t.get("retries") or t.get("timeouts")
             or t.get("pool_rebuilds") or t.get("resumed_tasks")
-            or t.get("degraded")
+            or t.get("degraded") or t.get("requeues")
+            or t.get("lost_workers") or t.get("lease_expiries")
+            or t.get("duplicate_results")
         ]
         if disturbed:
             sections.append(format_table(
@@ -141,6 +143,33 @@ def _render_markdown(data: dict) -> str:
                      t.get("resumed_tasks", 0),
                      "yes" if t.get("degraded") else "no"]
                     for t in disturbed
+                ],
+            ))
+        backends: dict[str, dict] = {}
+        for t in data["sweep_timings"]:
+            for name in (t.get("backends") or [t.get("executor") or "?"]):
+                row = backends.setdefault(name, {
+                    "sweeps": 0, "requeues": 0, "lost_workers": 0,
+                    "lease_expiries": 0, "duplicate_results": 0,
+                    "pool_rebuilds": 0, "degraded": 0,
+                })
+                row["sweeps"] += 1
+                for key in ("requeues", "lost_workers", "lease_expiries",
+                            "duplicate_results", "pool_rebuilds"):
+                    row[key] += t.get(key, 0)
+                row["degraded"] += 1 if t.get("degraded") else 0
+        if backends:
+            sections.append(format_table(
+                "Executor backends (per-backend resilience)",
+                ["backend", "sweeps", "requeues", "lost workers",
+                 "lease expiries", "dup results dropped",
+                 "pool rebuilds", "degraded sweeps"],
+                [
+                    [name, row["sweeps"], row["requeues"],
+                     row["lost_workers"], row["lease_expiries"],
+                     row["duplicate_results"], row["pool_rebuilds"],
+                     row["degraded"]]
+                    for name, row in sorted(backends.items())
                 ],
             ))
     metrics = data.get("metrics") or {}

@@ -160,6 +160,30 @@ class TestResilience:
         assert main(["list", "--chaos", "explode:1"]) == 2
         assert "error:" in capsys.readouterr().out
 
+    def test_executor_flag_sets_process_default(self, capsys, monkeypatch):
+        seen = {}
+
+        def _capture(_args):
+            seen["backend"] = engine.resolve_executor(None, 4)
+
+        monkeypatch.setitem(cli._COMMANDS, "vias", _capture)
+        assert main(["vias", "--executor", "socket"]) == 0
+        assert seen["backend"] == "socket"
+        # Restored on exit: auto selection again picks the pool.
+        assert engine.resolve_executor(None, 4) == "local"
+
+    def test_executor_flag_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["vias", "--executor", "carrier"])
+
+    def test_manifest_records_executor(self, tmp_path, capsys, monkeypatch):
+        manifest_path = tmp_path / "m.json"
+        monkeypatch.setitem(cli._COMMANDS, "vias", lambda _args: None)
+        assert main([
+            "vias", "--executor", "inline", "--metrics", str(manifest_path),
+        ]) == 0
+        assert json.loads(manifest_path.read_text())["executor"] == "inline"
+
     def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
         def _interrupt(_args):
             raise KeyboardInterrupt

@@ -1,0 +1,489 @@
+"""Pluggable executor backends and the backend-agnostic scheduler.
+
+Covers backend selection precedence, per-backend equivalence to the
+serial path, socket-worker loss and heartbeat supervision (requeue onto
+survivors, no pool-level restart), transport chaos (duplicated and
+delayed result frames), the degradation chain, the at-most-once result
+commit (including a hypothesis interleaving property), the no-SIGALRM
+timeout fallback, truncated-checkpoint recovery, and gc hardening.
+"""
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common import memo
+from repro.common.errors import ConfigError, WorkerCrashError
+from repro.experiments import chaos as chaos_mod
+from repro.experiments import checkpoint as checkpoint_mod
+from repro.experiments import engine
+from repro.experiments import executors as executors_mod
+from repro.experiments.chaos import ChaosPolicy
+from repro.experiments.engine import TaskPolicy, run_sweep
+from repro.experiments.executors import (
+    InlineExecutor,
+    LocalPoolExecutor,
+    SocketExecutor,
+    make_executor,
+    resolve_executor,
+    set_default_executor,
+)
+from repro.experiments.perf import fig6_performance
+from repro.experiments.runner import SimulationWindow
+from repro.obs import events, metrics
+from repro.obs.metrics import MetricsSnapshot, merge_snapshots
+from repro.obs.tracing import span_structure
+from repro.workloads.profiles import get_profile
+
+TINY = SimulationWindow(warmup=2000, measured=6000)
+
+
+@pytest.fixture(autouse=True)
+def _clean_engine():
+    engine.clear_timings()
+    engine.set_default_policy(None)
+    set_default_executor(None)
+    chaos_mod.set_chaos(None)
+    checkpoint_mod.set_checkpoint_dir(None)
+    yield
+    engine.clear_timings()
+    engine.set_default_policy(None)
+    set_default_executor(None)
+    chaos_mod.set_chaos(None)
+    checkpoint_mod.set_checkpoint_dir(None)
+
+
+# -- module-level worker functions (must pickle into workers) -----------
+
+def _double(x):
+    return x * 2
+
+
+def _bump_delta(x):
+    m = metrics.get_registry()
+    m.counter("exectest.calls").inc()
+    m.histogram("exectest.values", (2.0, 5.0)).observe(min(x, 9))
+    return x + 1
+
+
+def _slow_bump(x):
+    # Long enough that a chunk of three outlives the socket backend's
+    # heartbeat timeout (6 x 0.25s), so a muted worker is detectable.
+    time.sleep(0.65)
+    return _bump_delta(x)
+
+
+def _sleepy_once(item):
+    value, marker = item
+    path = Path(marker)
+    if not path.exists():
+        path.write_text("attempted")
+        time.sleep(0.5)
+    return value * 2
+
+
+# ---------------------------------------------------------------------
+class TestSelection:
+    def test_precedence_argument_default_env_auto(self, monkeypatch):
+        monkeypatch.delenv(executors_mod.EXECUTOR_ENV_VAR, raising=False)
+        assert resolve_executor(None, 1) == "inline"
+        assert resolve_executor(None, 4) == "local"
+        monkeypatch.setenv(executors_mod.EXECUTOR_ENV_VAR, "socket")
+        assert resolve_executor(None, 1) == "socket"
+        set_default_executor("local")
+        assert resolve_executor(None, 1) == "local"   # default beats env
+        assert resolve_executor("inline", 8) == "inline"  # arg beats all
+
+    def test_unknown_names_raise(self, monkeypatch):
+        with pytest.raises(ConfigError):
+            resolve_executor("carrier-pigeon", 2)
+        with pytest.raises(ConfigError):
+            set_default_executor("carrier-pigeon")
+        with pytest.raises(ConfigError):
+            make_executor("carrier-pigeon", fn=_double,
+                          policy=TaskPolicy(), chaos=None)
+        monkeypatch.setenv(executors_mod.EXECUTOR_ENV_VAR, "quantum")
+        with pytest.raises(ConfigError):
+            resolve_executor(None, 2)
+
+    def test_make_executor_builds_the_named_backend(self):
+        context = dict(fn=_double, policy=TaskPolicy(), chaos=None)
+        assert isinstance(make_executor("inline", **context), InlineExecutor)
+        assert isinstance(make_executor("local", **context), LocalPoolExecutor)
+        sock = make_executor("socket", **context)
+        try:
+            assert isinstance(sock, SocketExecutor)
+        finally:
+            sock.shutdown(kill=True)
+
+    def test_sweep_records_backend_name(self):
+        _results, timing = run_sweep(_double, [1, 2], jobs=1)
+        assert timing.executor == "inline"
+        assert timing.backends == ["inline"]
+
+
+class TestTransportChaosParse:
+    def test_parse_round_trip(self):
+        policy = ChaosPolicy.parse(
+            "heartbeat-drop:0.2,result-dup:0.1,result-delay:0.3:0.02,seed:7"
+        )
+        assert policy.hb_drop_p == 0.2
+        assert policy.dup_result_p == 0.1
+        assert policy.frame_delay_p == 0.3
+        assert policy.frame_delay_s == 0.02
+        assert ChaosPolicy.parse("hb-drop:0.5").hb_drop_p == 0.5
+        assert ChaosPolicy.parse("dup:0.5").dup_result_p == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ChaosPolicy(hb_drop_p=1.5)
+        with pytest.raises(ConfigError):
+            ChaosPolicy(dup_result_p=-0.1)
+        with pytest.raises(ConfigError):
+            ChaosPolicy(frame_delay_s=-1.0)
+
+    def test_transport_faults_only_disturb_first_attempts(self):
+        policy = ChaosPolicy(hb_drop_p=1.0, dup_result_p=1.0,
+                             frame_delay_p=1.0)
+        assert policy.drops_heartbeat(0, 0)
+        assert policy.duplicates_result(0, 0)
+        assert policy.delays_result(0, 0)
+        assert not policy.drops_heartbeat(0, 1)
+        assert not policy.duplicates_result(0, 1)
+        assert not policy.delays_result(0, 1)
+
+
+# ---------------------------------------------------------------------
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("backend", ["inline", "local", "socket"])
+    def test_results_and_metrics_match_serial(self, backend):
+        clean, clean_t = run_sweep(_bump_delta, list(range(6)), jobs=1,
+                                   record=False)
+        got, timing = run_sweep(
+            _bump_delta, list(range(6)), jobs=2, chunksize=2,
+            executor=backend, record=False,
+        )
+        assert got == clean
+        assert timing.executor == backend
+        assert timing.metrics.counters == clean_t.metrics.counters
+        assert timing.metrics.histograms == clean_t.metrics.histograms
+
+
+# ---------------------------------------------------------------------
+class TestSocketResilience:
+    def test_worker_kill_requeues_without_pool_restart(self):
+        # A chaos kill in exactly one chunk: the victim's chunk must
+        # requeue onto the surviving worker — no backend restart, no
+        # degradation — and still match the undisturbed serial run.
+        seed = next(
+            s for s in range(500)
+            if any(ChaosPolicy(kill_p=0.3, seed=s).kills(i, 0)
+                   for i in range(0, 3))
+            and not any(ChaosPolicy(kill_p=0.3, seed=s).kills(i, 0)
+                        for i in range(3, 6))
+        )
+        clean, clean_t = run_sweep(_bump_delta, list(range(6)), jobs=1,
+                                   record=False)
+        got, timing = run_sweep(
+            _bump_delta, list(range(6)), jobs=2, chunksize=3,
+            executor="socket", record=False,
+            chaos=ChaosPolicy(kill_p=0.3, seed=seed),
+        )
+        assert got == clean
+        assert timing.lost_workers >= 1
+        assert timing.requeues >= 1
+        assert timing.pool_rebuilds == 0
+        assert not timing.degraded
+        assert timing.failures == 0
+        assert timing.metrics.counters == clean_t.metrics.counters
+        assert timing.metrics.histograms == clean_t.metrics.histograms
+
+    def test_heartbeat_drop_is_detected_and_requeued(self):
+        # One chunk mutes its worker's heartbeats; the chunk is slow
+        # enough (3 x 0.65s > the 1.5s heartbeat timeout) that the
+        # controller declares the worker lost mid-chunk and requeues
+        # onto the survivor.  Results the muted worker already streamed
+        # race the rerun's copies — the at-most-once commit keeps them
+        # single-counted.
+        seed = next(
+            s for s in range(500)
+            if ChaosPolicy(hb_drop_p=0.5, seed=s).drops_heartbeat(0, 0)
+            and not ChaosPolicy(hb_drop_p=0.5, seed=s).drops_heartbeat(3, 0)
+        )
+        clean, clean_t = run_sweep(_slow_bump, list(range(6)), jobs=1,
+                                   record=False)
+        got, timing = run_sweep(
+            _slow_bump, list(range(6)), jobs=2, chunksize=3,
+            executor="socket", record=False,
+            chaos=ChaosPolicy(hb_drop_p=0.5, seed=seed),
+        )
+        assert got == clean
+        assert timing.lost_workers >= 1
+        assert timing.requeues >= 1
+        assert timing.pool_rebuilds == 0
+        assert not timing.degraded
+        assert timing.metrics.counters == clean_t.metrics.counters
+        assert timing.metrics.histograms == clean_t.metrics.histograms
+
+    def test_duplicated_and_delayed_result_frames_commit_once(self):
+        clean, clean_t = run_sweep(_bump_delta, list(range(6)), jobs=1,
+                                   record=False)
+        got, timing = run_sweep(
+            _bump_delta, list(range(6)), jobs=2, chunksize=3,
+            executor="socket", record=False,
+            chaos=ChaosPolicy(dup_result_p=1.0, frame_delay_p=1.0,
+                              frame_delay_s=0.01),
+        )
+        assert got == clean
+        assert timing.duplicate_results == 6
+        assert timing.failures == 0
+        assert timing.metrics.counters == clean_t.metrics.counters
+        assert timing.metrics.histograms == clean_t.metrics.histograms
+
+    def test_losing_every_worker_degrades_down_the_chain(self):
+        # kill_p=1.0 takes out each socket worker on its first chunk;
+        # once none is left the backend raises and the scheduler hands
+        # the unfinished chunks to the local pool, which finishes.
+        clean, _ = run_sweep(_double, [1, 2, 3, 4], jobs=1, record=False)
+        got, timing = run_sweep(
+            _double, [1, 2, 3, 4], jobs=2, chunksize=1,
+            executor="socket", record=False,
+            chaos=ChaosPolicy(kill_p=1.0),
+        )
+        assert got == clean
+        assert timing.degraded
+        assert timing.backends[0] == "socket"
+        assert "local" in timing.backends
+        assert timing.lost_workers >= 2
+        assert timing.failures == 0
+
+    def test_degradation_disabled_raises_worker_crash(self):
+        with pytest.raises(WorkerCrashError):
+            run_sweep(
+                _double, [1, 2, 3, 4], jobs=2, chunksize=1,
+                executor="socket", record=False,
+                chaos=ChaosPolicy(kill_p=1.0),
+                policy=TaskPolicy(degrade_serial=False),
+            )
+
+
+# ---------------------------------------------------------------------
+class TestFig6AcrossBackends:
+    """The PR's acceptance criterion: fig6 on every backend under
+    combined transport chaos is bit-identical to a clean serial run."""
+
+    _clean: dict = {}
+
+    @classmethod
+    def _clean_run(cls):
+        if not cls._clean:
+            benchmarks = [get_profile(n) for n in ("gzip", "mcf")]
+            memo.clear_cache()
+            run = events.begin_run("fig6-exec-clean")
+            rows = fig6_performance(window=TINY, benchmarks=benchmarks,
+                                    jobs=1)
+            cls._clean["rows"] = [dataclasses.asdict(r) for r in rows]
+            cls._clean["metrics"] = engine.run_metrics(run)
+        return cls._clean["rows"], cls._clean["metrics"]
+
+    @pytest.mark.parametrize("backend", ["inline", "local", "socket"])
+    def test_transport_chaos_is_bit_identical_to_serial(self, backend):
+        benchmarks = [get_profile(n) for n in ("gzip", "mcf")]
+        n_tasks = len(benchmarks) * 4
+        seed = next(
+            s for s in range(500)
+            if any(ChaosPolicy(kill_p=0.15, seed=s).kills(i, 0)
+                   for i in range(n_tasks))
+            and any(ChaosPolicy(dup_result_p=0.5, seed=s)
+                    .duplicates_result(i, 0) for i in range(n_tasks))
+        )
+        chaos = ChaosPolicy(
+            kill_p=0.15, hb_drop_p=0.2, dup_result_p=0.5,
+            frame_delay_p=0.3, frame_delay_s=0.01, seed=seed,
+        )
+        clean_rows, clean_metrics = self._clean_run()
+
+        memo.clear_cache()
+        chaos_mod.set_chaos(chaos)
+        engine.set_default_policy(TaskPolicy(max_retries=2))
+        engine.set_default_executor(backend)
+        run = events.begin_run(f"fig6-exec-{backend}")
+        noisy = fig6_performance(window=TINY, benchmarks=benchmarks, jobs=2)
+        noisy_metrics = engine.run_metrics(run)
+        timing = engine.timings(run)[-1]
+
+        assert timing.failures == 0
+        assert [dataclasses.asdict(r) for r in noisy] == clean_rows
+        assert noisy_metrics.counters == clean_metrics.counters
+        assert noisy_metrics.histograms == clean_metrics.histograms
+        assert noisy_metrics.gauges == clean_metrics.gauges
+        assert span_structure(noisy_metrics.spans) == span_structure(
+            clean_metrics.spans
+        )
+
+
+# ---------------------------------------------------------------------
+@settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    n=st.integers(1, 8),
+    order=st.lists(st.integers(0, 7), max_size=30),
+)
+def test_any_result_interleaving_commits_at_most_once(n, order):
+    """Property: whatever interleaving of late, duplicated, or lost
+    chunk results reaches the scheduler, every task key commits exactly
+    once (first delivery wins) and the merged metrics equal those of a
+    single clean delivery per task."""
+    tasks = list(range(n))
+    timing = engine.SweepTiming(label="interleave", jobs=1)
+    state = engine._SweepState(
+        tasks, "interleave", TaskPolicy(fail_fast=False), timing, None,
+    )
+    deliveries = [i % n for i in order]
+    for serial, i in enumerate(deliveries):
+        # Duplicate deliveries of a committed key carry a *different*
+        # payload, so a second commit would be visible in the results.
+        state.absorb(engine._TaskOutcome(
+            index=i, ok=True, result=(i, serial), wall_s=0.001,
+            metrics=MetricsSnapshot(counters={f"task.{i}": 1}),
+            attempts=1,
+        ))
+    first_delivery = {}
+    for serial, i in enumerate(deliveries):
+        first_delivery.setdefault(i, serial)
+    for i in range(n):
+        if i in first_delivery:
+            assert state.results[i] == (i, first_delivery[i])
+        else:
+            assert state.results[i] is None        # lost, never committed
+    assert timing.duplicate_results == len(deliveries) - len(first_delivery)
+    merged = merge_snapshots(s for s in state.snapshots if s is not None)
+    assert merged.counters == {
+        f"task.{i}": 1 for i in sorted(first_delivery)
+    }
+
+
+# ---------------------------------------------------------------------
+class TestAlarmFallback:
+    def test_overlong_finished_attempt_counts_as_timeout(self, monkeypatch,
+                                                         tmp_path):
+        # Without SIGALRM the deadline cannot interrupt the attempt, but
+        # an attempt that *finishes* overlong is still discarded and
+        # retried — same accounting as a fired alarm.
+        monkeypatch.setattr(executors_mod, "_HAS_ALARM", False)
+        assert not executors_mod._alarm_usable()
+        items = [(i, str(tmp_path / f"m{i}")) for i in range(2)]
+        results, timing = run_sweep(
+            _sleepy_once, items, jobs=1,
+            policy=TaskPolicy(timeout_s=0.2, max_retries=1),
+        )
+        assert results == [0, 2]
+        assert timing.timeouts == 2
+        assert timing.retries == 2
+        assert timing.failures == 0
+
+    def test_deadline_is_a_noop_without_alarm(self, monkeypatch):
+        monkeypatch.setattr(executors_mod, "_HAS_ALARM", False)
+        with executors_mod._deadline(0.01):
+            time.sleep(0.05)      # would raise if the timer were armed
+
+
+# ---------------------------------------------------------------------
+def _record_call(item):
+    value, marker = item
+    with open(marker, "a") as fh:
+        fh.write("x")
+    return value * 3
+
+
+class TestCheckpointTruncation:
+    def test_garbage_line_is_skipped_with_event(self, tmp_path):
+        checkpoint_mod.set_checkpoint_dir(tmp_path / "ck")
+        run_id = events.begin_run("ckpt-garbage")
+        items = [(i, str(tmp_path / f"calls-{i}")) for i in range(3)]
+        run_sweep(_record_call, items, jobs=1, chunksize=1, label="g")
+        ckpt_file = tmp_path / "ck" / run_id / "g.jsonl"
+        lines = ckpt_file.read_text().splitlines()
+        lines[1] = '{"corrupt": '             # torn mid-write
+        ckpt_file.write_text("\n".join(lines) + "\n")
+        for _value, marker in items:
+            Path(marker).unlink()
+        sink = tmp_path / "events.jsonl"
+        events.set_sink(sink)
+        try:
+            results, timing = run_sweep(_record_call, items, jobs=1,
+                                        chunksize=1, label="g")
+        finally:
+            events.set_sink(None)
+        assert results == [0, 3, 6]
+        assert timing.resumed_tasks == 2     # only the torn task re-ran
+        assert (tmp_path / "calls-1").exists()
+        assert not (tmp_path / "calls-0").exists()
+        recorded = [json.loads(line) for line in
+                    sink.read_text().splitlines()]
+        truncated = [r for r in recorded
+                     if r["event"] == "checkpoint_truncated"]
+        assert truncated and truncated[0]["skipped_lines"] == 1
+
+    def test_undecodable_payload_reruns_the_task(self, tmp_path):
+        checkpoint_mod.set_checkpoint_dir(tmp_path / "ck")
+        run_id = events.begin_run("ckpt-payload")
+        items = [(i, str(tmp_path / f"calls-{i}")) for i in range(2)]
+        run_sweep(_record_call, items, jobs=1, chunksize=1, label="p")
+        ckpt_file = tmp_path / "ck" / run_id / "p.jsonl"
+        lines = ckpt_file.read_text().splitlines()
+        record = json.loads(lines[0])
+        record["result"] = "!!not-base64!!"
+        lines[0] = json.dumps(record)
+        ckpt_file.write_text("\n".join(lines) + "\n")
+        for _value, marker in items:
+            Path(marker).unlink()
+        results, timing = run_sweep(_record_call, items, jobs=1,
+                                    chunksize=1, label="p")
+        assert results == [0, 3]
+        assert timing.resumed_tasks == 1
+        assert (tmp_path / "calls-0").exists()   # re-ran
+        assert not (tmp_path / "calls-1").exists()
+
+
+class TestGcHardening:
+    def test_unreadable_run_dir_is_skipped(self, tmp_path, monkeypatch):
+        for name in ("run-a", "run-b"):
+            run = tmp_path / name
+            run.mkdir()
+            (run / "sweep.jsonl").write_text("x" * 50)
+        real_mtime = checkpoint_mod._run_mtime
+
+        def _flaky_mtime(run_dir):
+            if run_dir.name == "run-a":
+                raise OSError("permission denied")
+            return real_mtime(run_dir)
+
+        monkeypatch.setattr(checkpoint_mod, "_run_mtime", _flaky_mtime)
+        report = checkpoint_mod.gc_checkpoints(tmp_path, keep_last=0,
+                                               dry_run=True)
+        assert report.skipped == ["run-a"]
+        assert report.removed == ["run-b"]
+        assert report.reclaimed_bytes == 50
+        assert report.reclaimed_files == 1
+        assert (tmp_path / "run-a").exists()
+
+    def test_dry_run_reports_bytes_and_file_counts(self, tmp_path):
+        run = tmp_path / "run-a"
+        run.mkdir()
+        (run / "one.jsonl").write_text("x" * 30)
+        (run / "two.jsonl").write_text("y" * 20)
+        report = checkpoint_mod.gc_checkpoints(tmp_path, keep_last=0,
+                                               dry_run=True)
+        assert report.dry_run
+        assert report.reclaimed_bytes == 50
+        assert report.reclaimed_files == 2
+        assert run.exists()

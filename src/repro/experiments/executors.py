@@ -65,6 +65,7 @@ from typing import Callable, Sequence
 
 from repro.common.errors import ChaosError, ConfigError, ExecutorBrokenError
 from repro.experiments.chaos import ChaosPolicy
+from repro.obs import profile as profile_mod
 from repro.obs.metrics import MetricsSnapshot, get_registry
 
 __all__ = [
@@ -164,6 +165,11 @@ class _TaskOutcome:
     error_kind: str = ""     # "error" | "timeout" | "chaos"
     error: str = ""
     traceback: str = ""
+    #: Optional trace context piggybacked for the live/export consumers:
+    #: ``pid``, ``start_unix``/``end_unix`` wall-clock stamps, and (with
+    #: ``--profile``) the attempt's collapsed-stack ``profile`` dict.
+    #: ``None`` whenever observability is off (``REPRO_OBS=off``).
+    telemetry: dict | None = None
 
 
 def _attempt_task(
@@ -213,6 +219,9 @@ def _attempt_task(
             if chaos is not None:
                 chaos.inject(index, attempt, in_worker=in_worker)
             mark = registry.begin_task()
+            prof = profile_mod.start_profile() if profile_mod.enabled() \
+                else None
+            start_unix = time.time()
             try:
                 start = time.perf_counter()
                 with _deadline(policy.timeout_s):
@@ -228,6 +237,8 @@ def _attempt_task(
                     raise _TaskTimeout()
                 snapshot = registry.end_task(mark)
             except BaseException:
+                if prof is not None:
+                    prof.disable()
                 registry.end_task(mark)
                 raise
         except _TaskTimeout:
@@ -250,6 +261,15 @@ def _attempt_task(
             outcome.result = result
             outcome.wall_s = wall
             outcome.metrics = snapshot
+            if registry.enabled:
+                telemetry = {
+                    "pid": os.getpid(),
+                    "start_unix": start_unix,
+                    "end_unix": start_unix + wall,
+                }
+                if prof is not None:
+                    telemetry["profile"] = profile_mod.collapse(prof)
+                outcome.telemetry = telemetry
             return outcome
         if n + 1 < attempts_allowed:
             outcome.retries += 1
@@ -295,10 +315,16 @@ class ChunkStarted:
 
 @dataclass(frozen=True)
 class TaskDone:
-    """One task of a chunk finished (ok or exhausted); carries the outcome."""
+    """One task of a chunk finished (ok or exhausted); carries the outcome.
+
+    ``worker`` names the executing worker when the backend knows it
+    (``"inline"``, a pool pid, a socket worker id) — live telemetry
+    attribution only, never scheduling state.
+    """
 
     chunk_id: int
     outcome: _TaskOutcome = None
+    worker: str = ""
 
 
 @dataclass(frozen=True)
@@ -374,7 +400,19 @@ class Executor:
         raise NotImplementedError
 
     def heartbeat(self) -> dict:
-        """Seconds since each live worker was last heard from."""
+        """Live-worker health, keyed by worker id (a string).
+
+        Every backend reports the same schema — each value is a dict
+        with ``worker`` (the same id), ``age_s`` (seconds since the
+        worker was last heard from, monotonic clock; ``0.0`` for
+        in-process or pool workers whose liveness is implicit), and
+        ``inflight_chunk`` (the chunk id currently placed on the
+        worker, or ``None`` when idle).  Backends may add keys — the
+        socket backend adds ``tasks_done``, the worker's self-reported
+        progress within its current chunk.  Observation-only: the
+        scheduler never reads this; it feeds ``LiveStats`` and the
+        metrics endpoint.
+        """
         return {}
 
     def shutdown(self, kill: bool = False) -> None:
@@ -422,7 +460,7 @@ class InlineExecutor(Executor):
             prepare=self._prepare if pos == 0 else None,
             chunk_items=items if pos == 0 else None,
         )
-        events.append(TaskDone(chunk_id, outcome))
+        events.append(TaskDone(chunk_id, outcome, worker="inline"))
         if pos + 1 >= len(entries):
             events.append(ChunkDone(chunk_id))
             self._current = None
@@ -441,7 +479,9 @@ class InlineExecutor(Executor):
         return False
 
     def heartbeat(self) -> dict:
-        return {"inline": 0.0}
+        inflight = self._current[0] if self._current is not None else None
+        return {"inline": {"worker": "inline", "age_s": 0.0,
+                           "inflight_chunk": inflight}}
 
     def shutdown(self, kill: bool = False) -> None:
         self._queue.clear()
@@ -494,7 +534,14 @@ class LocalPoolExecutor(Executor):
         self._by_chunk[chunk_id] = future
 
     def _chunk_events(self, chunk_id: int, outcomes) -> list:
-        events = [TaskDone(chunk_id, outcome) for outcome in outcomes]
+        events = []
+        for outcome in outcomes:
+            telemetry = getattr(outcome, "telemetry", None) or {}
+            pid = telemetry.get("pid")
+            events.append(TaskDone(
+                chunk_id, outcome,
+                worker="" if pid is None else str(pid),
+            ))
         events.append(ChunkDone(chunk_id))
         return events
 
@@ -550,7 +597,23 @@ class LocalPoolExecutor(Executor):
         return True
 
     def heartbeat(self) -> dict:
-        return {}
+        if self._pool is None:
+            return {}
+        try:
+            pids = sorted(
+                pid for pid, proc in (self._pool._processes or {}).items()
+                if proc.is_alive()
+            )
+        except Exception:
+            return {}
+        # Chunk placement inside the pool is the pool's own business, so
+        # ``inflight_chunk`` is unknowable here; liveness is implicit in
+        # the process being alive (age 0.0).
+        return {
+            str(pid): {"worker": str(pid), "age_s": 0.0,
+                       "inflight_chunk": None}
+            for pid in pids
+        }
 
     def _teardown(self, kill: bool) -> None:
         pool, self._pool = self._pool, None
@@ -640,20 +703,30 @@ def _socket_worker_main(host, port, worker_id, fn, policy, chaos, prepare,
     streams ``task_result`` frames as the chunk progresses — with
     chaos-injected duplicate and delayed frames when asked, so the
     controller's at-most-once commit is exercised for real.
+
+    While observability is on, heartbeat frames piggyback a tiny
+    telemetry dict — the in-flight chunk id and tasks completed within
+    it — updated by the main loop and read by the beat thread (plain
+    dict-key stores, safe under the GIL).  ``REPRO_OBS=off`` drops the
+    piggyback entirely.
     """
     sock = socket.create_connection((host, port))
     send_lock = threading.Lock()
     suppress_hb = threading.Event()
     stop = threading.Event()
+    telemetry_on = get_registry().enabled
+    progress = {"chunk": None, "done": 0}
     _send_frame(sock, {"type": "hello", "worker": worker_id}, send_lock)
 
     def _beat():
         while not stop.wait(hb_interval):
             if suppress_hb.is_set():
                 continue
+            frame = {"type": "hb", "worker": worker_id}
+            if telemetry_on:
+                frame["telemetry"] = dict(progress)
             try:
-                _send_frame(sock, {"type": "hb", "worker": worker_id},
-                            send_lock)
+                _send_frame(sock, frame, send_lock)
             except OSError:
                 return
 
@@ -679,6 +752,8 @@ def _socket_worker_main(host, port, worker_id, fn, policy, chaos, prepare,
                 send_lock,
             )
             items = [entry[2] for entry in entries]
+            progress["chunk"] = chunk_id
+            progress["done"] = 0
             for pos, (index, base, item) in enumerate(entries):
                 outcome = _attempt_task(
                     fn, item, index, base, policy, chaos, in_worker=True,
@@ -692,6 +767,7 @@ def _socket_worker_main(host, port, worker_id, fn, policy, chaos, prepare,
                     "worker": worker_id, "outcome": outcome,
                 }
                 _send_frame(sock, result, send_lock)
+                progress["done"] = pos + 1
                 if chaos is not None and chaos.duplicates_result(index, base):
                     _send_frame(sock, result, send_lock)
             _send_frame(
@@ -700,6 +776,7 @@ def _socket_worker_main(host, port, worker_id, fn, policy, chaos, prepare,
                  "worker": worker_id},
                 send_lock,
             )
+            progress["chunk"] = None
             suppress_hb.clear()
     except OSError:
         pass
@@ -747,6 +824,7 @@ class SocketExecutor(Executor):
         self._procs: dict = {}       # worker_id -> Process
         self._states: dict = {}      # worker_id -> connection state
         self._last_hb: dict = {}     # worker_id -> monotonic timestamp
+        self._hb_meta: dict = {}     # worker_id -> piggybacked telemetry
         self._busy: dict = {}        # worker_id -> chunk_id
         self._assigned: dict = {}    # chunk_id -> worker_id
         self._queue: deque = deque()  # (chunk_id, entries)
@@ -800,6 +878,7 @@ class SocketExecutor(Executor):
             return
         self._states.pop(worker_id, None)
         self._last_hb.pop(worker_id, None)
+        self._hb_meta.pop(worker_id, None)
         self._kill_proc(worker_id)
         chunk_id = self._busy.pop(worker_id, None)
         chunk_ids = ()
@@ -826,12 +905,17 @@ class SocketExecutor(Executor):
                 self._states[worker_id] = state
                 self._last_hb[worker_id] = time.monotonic()
             elif kind == "hb":
-                self._last_hb[frame["worker"]] = time.monotonic()
+                worker_id = frame["worker"]
+                self._last_hb[worker_id] = time.monotonic()
+                meta = frame.get("telemetry")
+                if meta:
+                    self._hb_meta[worker_id] = meta
             elif kind == "started":
                 events.append(ChunkStarted(frame["chunk_id"],
                                            worker=str(frame["worker"])))
             elif kind == "task_result":
-                events.append(TaskDone(frame["chunk_id"], frame["outcome"]))
+                events.append(TaskDone(frame["chunk_id"], frame["outcome"],
+                                       worker=str(frame["worker"])))
             elif kind == "chunk_done":
                 chunk_id = frame["chunk_id"]
                 self._busy.pop(frame["worker"], None)
@@ -920,10 +1004,18 @@ class SocketExecutor(Executor):
 
     def heartbeat(self) -> dict:
         now = time.monotonic()
-        return {
-            str(worker_id): now - last
-            for worker_id, last in self._last_hb.items()
-        }
+        health = {}
+        for worker_id, last in self._last_hb.items():
+            meta = self._hb_meta.get(worker_id) or {}
+            inflight = meta.get("chunk")
+            if inflight is None:  # worker silent on placement: ask the
+                inflight = self._busy.get(worker_id)  # controller's book
+            entry = {"worker": str(worker_id), "age_s": now - last,
+                     "inflight_chunk": inflight}
+            if "done" in meta:
+                entry["tasks_done"] = meta["done"]
+            health[str(worker_id)] = entry
+        return health
 
     def shutdown(self, kill: bool = False) -> None:
         for state in list(self._states.values()):
@@ -935,6 +1027,7 @@ class SocketExecutor(Executor):
             self._drop_conn(state)
         self._states.clear()
         self._last_hb.clear()
+        self._hb_meta.clear()
         self._busy.clear()
         self._assigned.clear()
         self._queue.clear()

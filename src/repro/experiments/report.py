@@ -116,11 +116,14 @@ def _render_markdown(data: dict) -> str:
     if data.get("sweep_timings"):
         sections.append(format_table(
             "Sweep timings (experiment engine)",
-            ["sweep", "tasks", "jobs", "cpu (s)", "wall (s)", "speedup"],
+            ["sweep", "tasks", "jobs", "cpu (s)", "wall (s)", "speedup",
+             "tasks/s"],
             [
                 [t["label"], t["tasks"], t["jobs"], t["cpu_s"], t["wall_s"],
                  "—" if t["wall_s"] <= 0 or t["tasks"] == 0
-                 else f"{t['speedup']:.2f}x"]
+                 else f"{t['speedup']:.2f}x",
+                 "—" if t["wall_s"] <= 0 or t["tasks"] == 0
+                 else f"{t['tasks'] / t['wall_s']:.1f}"]
                 for t in data["sweep_timings"]
             ],
         ))

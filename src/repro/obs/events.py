@@ -12,6 +12,14 @@ anything worth timestamping: run boundaries, sweep completions, manifest
 writes.  It is off unless :func:`set_sink` is given a path (the CLI's
 ``--trace-out``), and :func:`emit` is a cheap no-op while off.
 
+Flush policy: every :meth:`EventSink.emit` flushes its line so a
+concurrent follower (``repro tail``) and crash post-mortems see all
+complete recent events; a process killed mid-``write`` can still leave
+one torn trailing line, which followers must skip (and
+:class:`repro.obs.live.EventFollower` does).  Set ``REPRO_OBS_FSYNC=1``
+to additionally ``os.fsync`` per line — durable through power loss, at
+a per-event syscall cost.
+
 The *run manifest* is the auditable summary written next to results:
 run id, git SHA, command, seed/window/jobs, a configuration hash, and
 the run's merged metric snapshot plus per-sweep snapshots.  Everything
@@ -32,6 +40,7 @@ import time
 from pathlib import Path
 
 __all__ = [
+    "FSYNC_ENV_VAR",
     "begin_run",
     "current_run_id",
     "EventSink",
@@ -43,6 +52,8 @@ __all__ = [
     "build_manifest",
     "write_manifest",
 ]
+
+FSYNC_ENV_VAR = "REPRO_OBS_FSYNC"
 
 _RUN_SEQ = itertools.count(1)
 _CURRENT_RUN_ID: str | None = None
@@ -76,18 +87,27 @@ def current_run_id() -> str:
 
 # ---------------------------------------------------------------------
 class EventSink:
-    """Append-only JSONL event log."""
+    """Append-only JSONL event log, flushed per line.
+
+    Each event is written and flushed as one line so external followers
+    see it promptly; with ``REPRO_OBS_FSYNC`` truthy it is also fsynced,
+    trading a syscall per event for durability through power loss.
+    """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = self.path.open("a", encoding="utf-8")
+        self._fsync = os.environ.get(FSYNC_ENV_VAR, "").strip().lower() in (
+            "1", "true", "yes", "on")
 
     def emit(self, kind: str, **fields) -> None:
         """Append one event line (non-serialisable values become strings)."""
         record = {"event": kind, "ts": round(time.time(), 6), **fields}
         self._fh.write(json.dumps(record, default=str) + "\n")
         self._fh.flush()
+        if self._fsync:
+            os.fsync(self._fh.fileno())
 
     def close(self) -> None:
         """Flush and close the underlying file."""

@@ -273,6 +273,79 @@ class TestSocketResilience:
 
 
 # ---------------------------------------------------------------------
+def _schema_ok(heartbeat: dict) -> bool:
+    """Every backend's heartbeat() speaks the same documented schema."""
+    for worker, info in heartbeat.items():
+        assert isinstance(worker, str)
+        assert info["worker"] == worker
+        assert isinstance(info["age_s"], float) and info["age_s"] >= 0.0
+        assert info["inflight_chunk"] is None \
+            or isinstance(info["inflight_chunk"], int)
+    return True
+
+
+class TestHeartbeatSchema:
+    def test_inline_reports_itself(self):
+        ex = make_executor("inline", fn=_double, policy=TaskPolicy(),
+                           chaos=None)
+        assert _schema_ok(ex.heartbeat())
+        assert ex.heartbeat()["inline"]["inflight_chunk"] is None
+        ex.submit_chunk(7, [(0, 0, 1), (1, 0, 2)])
+        ex.poll()       # one task per poll: the chunk is now current
+        assert _schema_ok(ex.heartbeat())
+        assert ex.heartbeat()["inline"]["inflight_chunk"] == 7
+        ex.poll()       # second task drains the chunk
+        assert ex.heartbeat()["inline"]["inflight_chunk"] is None
+        ex.shutdown()
+
+    def test_local_reports_pool_pids(self):
+        ex = make_executor("local", fn=_double, policy=TaskPolicy(),
+                           chaos=None, jobs=2)
+        assert ex.heartbeat() == {}     # pool not built yet
+        try:
+            ex.submit_chunk(0, [(0, 0, 1)])
+            deadline = time.monotonic() + 10.0
+            heartbeat = {}
+            while time.monotonic() < deadline and not heartbeat:
+                ex.poll(timeout_s=0.1)
+                heartbeat = ex.heartbeat()
+            assert heartbeat
+            assert _schema_ok(heartbeat)
+            for worker, info in heartbeat.items():
+                assert worker == str(int(worker))   # OS pids
+                assert info["age_s"] == 0.0         # liveness is implicit
+        finally:
+            ex.shutdown(kill=True)
+
+    def test_socket_reports_ages_and_progress(self):
+        ex = make_executor("socket", fn=_slow_bump, policy=TaskPolicy(),
+                           chaos=None, jobs=2)
+        try:
+            ex.submit_chunk(0, [(0, 0, 1), (1, 0, 2)])
+            deadline = time.monotonic() + 15.0
+            seen_inflight = None
+            events_: list = []
+            while time.monotonic() < deadline:
+                events_.extend(ex.poll(timeout_s=0.1))
+                heartbeat = ex.heartbeat()
+                if heartbeat:
+                    assert _schema_ok(heartbeat)
+                busy = [info for info in heartbeat.values()
+                        if info["inflight_chunk"] is not None]
+                if busy:
+                    seen_inflight = busy[0]
+                if any(isinstance(e, executors_mod.ChunkDone)
+                       for e in events_):
+                    break
+            assert seen_inflight is not None
+            assert seen_inflight["inflight_chunk"] == 0
+            # The socket backend adds self-reported chunk progress.
+            assert "tasks_done" in seen_inflight
+        finally:
+            ex.shutdown(kill=True)
+
+
+# ---------------------------------------------------------------------
 class TestFig6AcrossBackends:
     """The PR's acceptance criterion: fig6 on every backend under
     combined transport chaos is bit-identical to a clean serial run."""

@@ -20,11 +20,13 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import os
+import signal
 import sys
+import threading
 import time
 
 from repro.common.config import ChipModel
-from repro.common.errors import ReproError
+from repro.common.errors import ReproError, SweepDrainedError
 from repro.common.tables import print_table
 from repro.experiments import chaos as chaos_mod
 from repro.experiments import checkpoint as checkpoint_mod
@@ -300,8 +302,16 @@ def _cmd_presets(_args) -> None:
 
 
 def _cmd_report(args) -> None:
-    from repro.experiments.report import generate_report
+    from repro.experiments.report import generate_report, render_partial_report
 
+    if args.partial:
+        root = checkpoint_mod.checkpoint_dir() or ".repro/checkpoints"
+        data = render_partial_report(args.partial, args.out,
+                                     checkpoint_root=root)
+        _say(f"wrote PARTIAL report {args.out}/results_partial.md "
+             f"({data['tasks_committed']} task(s) committed, "
+             f"{len(data['quarantined'])} quarantined)")
+        return
     generate_report(args.out, window=_window(args))
     _say(f"wrote {args.out}/results.json and {args.out}/results.md")
 
@@ -452,6 +462,10 @@ def build_parser() -> argparse.ArgumentParser:
             )
         if name == "report":
             p.add_argument("--out", default="results")
+            p.add_argument("--partial", default=None, metavar="RUN_ID",
+                           help="render a clearly-marked partial report "
+                                "from an interrupted run's checkpoint "
+                                "instead of re-running the experiments")
         if name == "fig6":
             p.add_argument(
                 "--benchmarks", default=None,
@@ -507,6 +521,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="kill any single sweep task attempt that "
                             "runs longer than this (default: "
                             "REPRO_TASK_TIMEOUT or unlimited)")
+        p.add_argument("--respawns", type=int, default=None, metavar="N",
+                       help="replacement workers the socket backend may "
+                            "spawn after losses before degrading "
+                            "(default: 2)")
+        p.add_argument("--drain-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="on SIGTERM, wait this long for in-flight "
+                            "chunks to finish and checkpoint before "
+                            "abandoning them (default: 30)")
         p.add_argument("--fail-fast", action=argparse.BooleanOptionalAction,
                        default=None,
                        help="abort a sweep on the first exhausted task "
@@ -566,6 +589,17 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     log.configure(verbosity=args.verbose - args.quiet)
     logger = log.get_logger("cli")
+    prior_sigterm = None
+    sigterm_installed = False
+    if threading.current_thread() is threading.main_thread():
+        # SIGTERM asks for a graceful drain: in-flight chunks finish and
+        # checkpoint, pending chunks are withdrawn, and the run exits 143
+        # with a --resume hint instead of dying mid-write.
+        def _on_sigterm(_signum, _frame):
+            engine.request_drain("SIGTERM")
+
+        prior_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+        sigterm_installed = True
     if args.trace_out:
         events.set_sink(args.trace_out)
     run_id = events.begin_run(args.command, run_id=args.resume)
@@ -599,6 +633,8 @@ def main(argv: list[str] | None = None) -> int:
                 ("max_retries", args.retries),
                 ("timeout_s", args.task_timeout),
                 ("fail_fast", args.fail_fast),
+                ("max_respawns", args.respawns),
+                ("drain_timeout_s", args.drain_timeout),
             )
             if value is not None
         }
@@ -631,6 +667,22 @@ def main(argv: list[str] | None = None) -> int:
             )
             _say(f"wrote run manifest {args.metrics}")
         return 0
+    except SweepDrainedError as exc:
+        events.emit(
+            "run_drained", run_id=run_id,
+            completed_tasks=exc.completed, total_tasks=exc.total,
+            stranded_tasks=exc.stranded,
+        )
+        logger.error(f"drained: {exc}")
+        if checkpoint_dir:
+            logger.error(
+                f"resume with: repro {args.command} --resume {run_id}"
+            )
+            logger.error(
+                f"partial report: repro report --partial {run_id} "
+                f"--checkpoint {checkpoint_dir}"
+            )
+        return 143
     except ReproError as exc:
         events.emit("run_error", run_id=run_id, error=str(exc))
         logger.error(f"error: {exc}")
@@ -646,6 +698,9 @@ def main(argv: list[str] | None = None) -> int:
             logger.error("interrupted")
         return 130
     finally:
+        if sigterm_installed:
+            signal.signal(signal.SIGTERM, prior_sigterm or signal.SIG_DFL)
+        engine.clear_drain()
         engine.set_default_jobs(None)
         engine.set_default_executor(None)
         engine.set_default_policy(None)

@@ -80,6 +80,17 @@ class TaskTimeoutError(TaskError):
         self.timeout_s = timeout_s
 
 
+class TaskQuarantinedError(TaskError):
+    """A task was quarantined after repeatedly killing its workers.
+
+    The supervision layer bisected the task's chunk down to a single
+    grain, attributed the worker deaths to this task, and committed a
+    failure for it instead of degrading the whole sweep.  The task is
+    recorded in the checkpoint and the report with this error; a
+    ``--resume`` gives it one fresh chance.
+    """
+
+
 class WorkerCrashError(ReproError):
     """The worker pool kept dying and serial degradation was disabled.
 
@@ -115,6 +126,34 @@ class SweepAbortedError(ReproError):
         super().__init__(message)
         self.label = label
         self.failures = list(failures)
+
+
+class SweepDrainedError(ReproError):
+    """A sweep stopped early because a drain was requested (SIGTERM).
+
+    Not a failure: every chunk already in flight was allowed to finish
+    and commit to the checkpoint, pending chunks were cancelled before
+    they started, and the run can be completed with ``--resume``.
+    ``completed``/``total`` count tasks; ``stranded`` counts tasks whose
+    chunks were cancelled unstarted.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        label: str = "",
+        run_id: str = "",
+        completed: int = 0,
+        total: int = 0,
+        stranded: int = 0,
+    ):
+        super().__init__(message)
+        self.label = label
+        self.run_id = run_id
+        self.completed = completed
+        self.total = total
+        self.stranded = stranded
 
 
 class ChaosError(ReproError):

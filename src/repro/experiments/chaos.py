@@ -24,6 +24,16 @@ PR 7 adds *transport* faults for the pluggable executor backends
   ``frame_delay_s`` before sending it (exercises late results racing a
   requeued rerun).
 
+PR 9 adds *supervision* faults for the self-healing layer:
+
+* ``worker-hang`` — a socket worker sleeps ``hang_s`` after accepting
+  the chunk whose first entry the decision names, while its heartbeats
+  keep beating (only the chunk lease can catch it);
+* ``respawn-fail`` — a scheduled replacement worker fails to come up
+  (decided per respawn ordinal, exercising the degrade fallback);
+* ``short-write`` — the checkpoint writer persists only a prefix of the
+  JSONL line for the named task, simulating a crash torn mid-byte.
+
 Two rules make chaos compatible with the engine's determinism contract
 (results, merged metrics, and manifests bit-identical to an undisturbed
 run):
@@ -81,12 +91,17 @@ class ChaosPolicy:
     dup_result_p: float = 0.0
     frame_delay_p: float = 0.0
     frame_delay_s: float = 0.05
+    hang_p: float = 0.0
+    hang_s: float = 3600.0
+    respawn_fail_p: float = 0.0
+    short_write_p: float = 0.0
     seed: int = 0
 
     def __post_init__(self):
         for name in (
             "fail_p", "kill_p", "delay_p",
             "hb_drop_p", "dup_result_p", "frame_delay_p",
+            "hang_p", "respawn_fail_p", "short_write_p",
         ):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
@@ -97,6 +112,8 @@ class ChaosPolicy:
             raise ConfigError(
                 f"chaos frame_delay_s must be >= 0, got {self.frame_delay_s}"
             )
+        if self.hang_s < 0:
+            raise ConfigError(f"chaos hang_s must be >= 0, got {self.hang_s}")
 
     def _roll(self, kind: str, index: int) -> float:
         return hash01(f"{self.seed}:{kind}:{index}")
@@ -135,6 +152,28 @@ class ChaosPolicy:
             attempt == 0 and self._roll("frame", index) < self.frame_delay_p
         )
 
+    # -- supervision faults (self-healing layer) -----------------------
+
+    def hangs(self, index: int, attempt: int) -> bool:
+        """Whether a worker running the chunk whose first entry is
+        ``index`` stalls for ``hang_s`` after accepting it.  Heartbeats
+        keep flowing, so only the chunk lease (``timeout_s``) detects
+        the hang; a requeued rerun runs clean."""
+        return attempt == 0 and self._roll("hang", index) < self.hang_p
+
+    def fails_respawn(self, ordinal: int) -> bool:
+        """Whether the ``ordinal``-th replacement worker an executor
+        schedules fails to come up.  Keyed by respawn ordinal, not task
+        index — respawns are an executor-level act with no task yet."""
+        return self._roll("respawn", ordinal) < self.respawn_fail_p
+
+    def short_writes(self, index: int) -> bool:
+        """Whether the checkpoint append for task ``index`` persists
+        only a line prefix (a simulated mid-byte crash).  Fired at most
+        once per checkpoint file, and never on a file that already
+        carries a torn line, so resumed runs converge."""
+        return self._roll("short", index) < self.short_write_p
+
     def inject(self, index: int, attempt: int, in_worker: bool) -> None:
         """Apply this policy ahead of one task attempt.
 
@@ -162,9 +201,11 @@ class ChaosPolicy:
         (``delay``, with an optional second value for the sleep in
         seconds), the transport kinds ``heartbeat-drop`` (``hb-drop``),
         ``result-dup`` (``dup``), ``result-delay`` (optional second
-        value: hold-back seconds), and ``seed``.  Example::
+        value: hold-back seconds), the supervision kinds ``worker-hang``
+        (``hang``, optional second value: stall seconds),
+        ``respawn-fail``, ``short-write``, and ``seed``.  Example::
 
-            worker-kill:0.1,heartbeat-drop:0.2,result-dup:0.1,seed:7
+            worker-kill:0.1,respawn-fail:0.3,short-write:0.2,seed:7
         """
         values: dict = {}
         for field in spec.split(","):
@@ -190,6 +231,14 @@ class ChaosPolicy:
                     values["frame_delay_p"] = float(parts[1])
                     if len(parts) > 2:
                         values["frame_delay_s"] = float(parts[2])
+                elif kind in ("worker-hang", "hang"):
+                    values["hang_p"] = float(parts[1])
+                    if len(parts) > 2:
+                        values["hang_s"] = float(parts[2])
+                elif kind in ("respawn-fail", "respawn"):
+                    values["respawn_fail_p"] = float(parts[1])
+                elif kind in ("short-write", "short"):
+                    values["short_write_p"] = float(parts[1])
                 elif kind == "seed":
                     values["seed"] = int(parts[1])
                 else:

@@ -19,6 +19,25 @@ Task keys combine the task's position in the sweep with a hash of its
 description (``task_key()`` when the item provides one, ``repr``
 otherwise), so a resume with different parameters simply misses the
 checkpoint and re-runs — stale results are never resurrected.
+
+Durability contract
+-------------------
+Appends are flushed line-by-line and fsynced on a policy set by the
+``REPRO_CKPT_FSYNC`` environment variable:
+
+* unset (default) — fsync at most every 2 seconds of appends; a hard
+  kill loses at most the last interval's tasks, never the file;
+* a number ``N`` — fsync when ``N`` seconds have passed since the last
+  one (``0`` fsyncs every line: maximum durability, slowest);
+* ``line``/``always`` — synonym for ``0``;
+* ``off``/``never`` — flush only, trust the OS page cache.
+
+A ``kill -9`` at any byte boundary leaves at worst one torn final line,
+which restoration skips (the affected chunk re-runs).  When a sweep
+completes, :meth:`SweepCheckpoint.finalize` publishes a
+``<name>.jsonl.done`` marker via tmp-file + fsync + atomic rename, so
+"this checkpoint is the complete record of its sweep" is itself a
+crash-consistent fact.
 """
 
 from __future__ import annotations
@@ -26,6 +45,7 @@ from __future__ import annotations
 import base64
 import hashlib
 import json
+import os
 import pickle
 import re
 import shutil
@@ -37,11 +57,14 @@ from repro.common.errors import ConfigError
 from repro.obs import events
 
 __all__ = [
+    "FSYNC_ENV_VAR",
     "set_checkpoint_dir",
     "checkpoint_dir",
     "task_key",
+    "fsync_interval",
     "SweepCheckpoint",
     "open_sweep",
+    "scan_sweep",
     "GcReport",
     "gc_checkpoints",
 ]
@@ -68,6 +91,42 @@ def task_key(item, index: int) -> str:
     return f"{index:05d}:{digest}"
 
 
+FSYNC_ENV_VAR = "REPRO_CKPT_FSYNC"
+_DEFAULT_FSYNC_INTERVAL_S = 2.0
+
+
+def fsync_interval() -> float | None:
+    """The checkpoint durability policy from ``REPRO_CKPT_FSYNC``.
+
+    ``None`` means never fsync (flush only), ``0.0`` means fsync every
+    appended line, a positive value is the minimum number of seconds
+    between fsyncs.  Unset defaults to ``2.0``.
+    """
+    raw = os.environ.get(FSYNC_ENV_VAR, "").strip().lower()
+    if not raw:
+        return _DEFAULT_FSYNC_INTERVAL_S
+    if raw in ("off", "no", "never", "false"):
+        return None
+    if raw in ("line", "always", "on", "true"):
+        return 0.0
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{FSYNC_ENV_VAR} must be a number of seconds, 'line', or "
+            f"'off', got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ConfigError(
+            f"{FSYNC_ENV_VAR} must be >= 0, got {value}"
+        )
+    return value
+
+
+def _done_path(path: Path) -> Path:
+    return path.parent / (path.name + ".done")
+
+
 def _encode(obj) -> str:
     return base64.b64encode(pickle.dumps(obj)).decode("ascii")
 
@@ -79,10 +138,12 @@ def _decode(text: str):
 class SweepCheckpoint:
     """Append-only JSONL checkpoint for one sweep of one run."""
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path, chaos=None):
         self.path = Path(path)
         self.records: dict[str, dict] = {}
+        self.quarantined: dict[str, dict] = {}
         self.truncated_lines = 0
+        self.finalized = _done_path(self.path).exists()
         torn = False
         if self.path.exists():
             text = self.path.read_text(encoding="utf-8")
@@ -98,7 +159,12 @@ class SweepCheckpoint:
                     # before it is intact, the affected task re-runs.
                     self.truncated_lines += 1
                     continue
-                self.records[record["key"]] = record
+                if record.get("quarantined"):
+                    # Quarantine records carry no payload and are never
+                    # restored: a resume gives the task one fresh chance.
+                    self.quarantined[record["key"]] = record
+                else:
+                    self.records[record["key"]] = record
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
         if self.truncated_lines:
@@ -112,13 +178,63 @@ class SweepCheckpoint:
         if torn:
             # Seal the torn line so the next append starts fresh.
             self._fh.write("\n")
+        self._fsync_interval = fsync_interval()
+        self._last_fsync = time.monotonic()
+        # Chaos short-write: armed only for files with no prior torn
+        # line, and one-shot, so a resumed run converges instead of
+        # tearing the same record forever.
+        self._chaos = chaos
+        self._short_write_armed = (
+            chaos is not None
+            and getattr(chaos, "short_write_p", 0.0) > 0.0
+            and self.truncated_lines == 0
+            and not torn
+        )
+        self._torn_tail = False
 
     def __contains__(self, key: str) -> bool:
         return key in self.records
 
+    def _write_line(self, record: dict, index: int) -> bool:
+        """Append one JSONL record, honouring the fsync policy and the
+        chaos ``short-write`` fault.  Returns True when the full line
+        (with newline) was written."""
+        if self._torn_tail:
+            # Seal our own chaos-torn line exactly like __init__ seals a
+            # real crash's.
+            self._fh.write("\n")
+            self._torn_tail = False
+        line = json.dumps(record) + "\n"
+        if (
+            self._short_write_armed
+            and self._chaos.short_writes(index)
+        ):
+            self._short_write_armed = False
+            self._torn_tail = True
+            self._fh.write(line[: max(1, len(line) // 2)])
+            self._fh.flush()
+            self._maybe_fsync()
+            return False
+        self._fh.write(line)
+        self._fh.flush()
+        self._maybe_fsync()
+        return True
+
+    def _maybe_fsync(self, force: bool = False) -> None:
+        if self._fsync_interval is None:
+            return
+        now = time.monotonic()
+        if (
+            force
+            or self._fsync_interval == 0.0
+            or now - self._last_fsync >= self._fsync_interval
+        ):
+            os.fsync(self._fh.fileno())
+            self._last_fsync = now
+
     def append(self, key: str, index: int, task: str, wall_s: float,
                result, metrics) -> None:
-        """Persist one completed task (flushed line-by-line)."""
+        """Persist one completed task (flushed and fsynced per policy)."""
         record = {
             "key": key,
             "index": index,
@@ -127,9 +243,26 @@ class SweepCheckpoint:
             "result": _encode(result),
             "metrics": _encode(metrics),
         }
-        self._fh.write(json.dumps(record) + "\n")
-        self._fh.flush()
-        self.records[key] = record
+        if self._write_line(record, index):
+            self.records[key] = record
+
+    def append_quarantine(self, key: str, index: int, task: str,
+                          error: str) -> None:
+        """Record a quarantined task: no payload, just the verdict.
+
+        The record documents *why* the slot is empty; restoration never
+        returns it, so a later ``--resume`` re-runs the task once more
+        on fresh workers.
+        """
+        record = {
+            "key": key,
+            "index": index,
+            "task": task,
+            "quarantined": True,
+            "error": error[:500],
+        }
+        if self._write_line(record, index):
+            self.quarantined[key] = record
 
     def restore(self, key: str) -> tuple[object, float, object] | None:
         """The stored ``(result, wall_s, metrics)`` for ``key``, if any.
@@ -157,17 +290,117 @@ class SweepCheckpoint:
             )
             return None
 
+    def finalize(self, tasks: int, failures: int = 0) -> None:
+        """Atomically publish a ``<name>.jsonl.done`` completion marker.
+
+        The JSONL itself is fsynced first, then the marker is written to
+        a tmp file, fsynced, and renamed into place — a crash at any
+        point leaves either no marker (sweep treated as interrupted,
+        resumable) or a complete one, never a torn marker.
+        """
+        self._fh.flush()
+        self._maybe_fsync(force=True)
+        done = _done_path(self.path)
+        tmp = done.parent / (done.name + ".tmp")
+        payload = {
+            "tasks": tasks,
+            "records": len(self.records),
+            "quarantined": len(self.quarantined),
+            "failures": failures,
+            "completed_unix": round(time.time(), 3),
+        }
+        with tmp.open("w", encoding="utf-8") as fh:
+            fh.write(json.dumps(payload) + "\n")
+            fh.flush()
+            if self._fsync_interval is not None:
+                os.fsync(fh.fileno())
+        os.replace(tmp, done)
+        if self._fsync_interval is not None:
+            try:
+                dir_fd = os.open(str(done.parent), os.O_RDONLY)
+            except OSError:
+                pass
+            else:
+                try:
+                    os.fsync(dir_fd)
+                finally:
+                    os.close(dir_fd)
+        self.finalized = True
+
     def close(self) -> None:
-        """Flush and close the underlying file."""
+        """Flush, fsync per policy, and close the underlying file."""
+        try:
+            self._fh.flush()
+            self._maybe_fsync(force=True)
+        except (OSError, ValueError):
+            pass
         self._fh.close()
 
 
-def open_sweep(label: str, run_id: str) -> SweepCheckpoint | None:
+def open_sweep(label: str, run_id: str,
+               chaos=None) -> SweepCheckpoint | None:
     """The checkpoint for one sweep, or ``None`` when checkpointing is off."""
     if _DIR is None:
         return None
     safe = re.sub(r"[^\w.-]+", "_", label) or "sweep"
-    return SweepCheckpoint(_DIR / run_id / f"{safe}.jsonl")
+    return SweepCheckpoint(_DIR / run_id / f"{safe}.jsonl", chaos=chaos)
+
+
+def scan_sweep(path: str | Path) -> dict:
+    """A read-only summary of one sweep checkpoint file.
+
+    Unlike constructing :class:`SweepCheckpoint`, scanning opens nothing
+    for writing, seals nothing, and decodes no pickled payloads — safe
+    to run against a live or dead run's files.  Used by the partial
+    report.
+    """
+    path = Path(path)
+    summary = {
+        "label": path.stem,
+        "path": str(path),
+        "tasks_committed": 0,
+        "wall_s": 0.0,
+        "quarantined": [],
+        "truncated_lines": 0,
+        "finalized": _done_path(path).exists(),
+        "finalize_info": None,
+    }
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return summary
+    committed: dict[str, float] = {}
+    quarantined: dict[str, dict] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            record["key"]
+        except (json.JSONDecodeError, TypeError, KeyError):
+            summary["truncated_lines"] += 1
+            continue
+        if record.get("quarantined"):
+            quarantined[record["key"]] = {
+                "task_key": record["key"],
+                "index": record.get("index"),
+                "error": record.get("error", ""),
+            }
+        else:
+            committed[record["key"]] = float(record.get("wall_s", 0.0))
+    summary["tasks_committed"] = len(committed)
+    summary["wall_s"] = round(sum(committed.values()), 6)
+    summary["quarantined"] = sorted(
+        quarantined.values(), key=lambda q: (q["index"] is None, q["index"])
+    )
+    if summary["finalized"]:
+        try:
+            summary["finalize_info"] = json.loads(
+                _done_path(path).read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError):
+            summary["finalize_info"] = None
+    return summary
 
 
 # ---------------------------------------------------------------------

@@ -67,7 +67,9 @@ from repro.common.errors import (
     ConfigError,
     ExecutorBrokenError,
     SweepAbortedError,
+    SweepDrainedError,
     TaskError,
+    TaskQuarantinedError,
     TaskTimeoutError,
     WorkerCrashError,
 )
@@ -115,6 +117,9 @@ __all__ = [
     "parallel_map",
     "run_sweep",
     "run_metrics",
+    "request_drain",
+    "drain_requested",
+    "clear_drain",
     "timings",
     "clear_timings",
     "timing_summary",
@@ -156,9 +161,15 @@ class TaskPolicy:
     work-stealing requeue (the socket executor), a chunk stranded by a
     lost worker or an expired lease is resubmitted to a surviving
     worker at most ``max_requeues`` times before its unfinished tasks
-    are declared failed.  ``degrade_serial`` also governs the backend
-    degradation chain: when off, a broken backend raises instead of
-    falling back to the next one.
+    are declared failed.  A lost socket worker is replaced by a fresh
+    process after ``respawn_backoff_s``, at most ``max_respawns`` times
+    per sweep (``0`` restores the old shrink-onto-survivors behaviour);
+    the local pool's equivalent is its ``max_pool_rebuilds`` budget.
+    ``drain_timeout_s`` bounds how long a drain (SIGTERM) waits for
+    in-flight chunks to finish before giving up on them.
+    ``degrade_serial`` also governs the backend degradation chain: when
+    off, a broken backend raises instead of falling back to the next
+    one.
     """
 
     max_retries: int = 0
@@ -170,6 +181,9 @@ class TaskPolicy:
     max_pool_rebuilds: int = 3
     degrade_serial: bool = True
     max_requeues: int = 3
+    max_respawns: int = 2
+    respawn_backoff_s: float = 0.1
+    drain_timeout_s: float = 30.0
 
     def __post_init__(self):
         if self.max_retries < 0:
@@ -189,6 +203,20 @@ class TaskPolicy:
         if self.max_requeues < 0:
             raise ConfigError(
                 f"max_requeues must be >= 0, got {self.max_requeues}"
+            )
+        if self.max_respawns < 0:
+            raise ConfigError(
+                f"max_respawns must be >= 0, got {self.max_respawns}"
+            )
+        if self.respawn_backoff_s < 0:
+            raise ConfigError(
+                f"respawn_backoff_s must be >= 0, got "
+                f"{self.respawn_backoff_s}"
+            )
+        if self.drain_timeout_s <= 0:
+            raise ConfigError(
+                f"drain_timeout_s must be positive, got "
+                f"{self.drain_timeout_s}"
             )
 
     def backoff(self, task_index: int, attempt: int) -> float:
@@ -285,6 +313,10 @@ class SweepTiming:
     lost_workers: int = 0    # workers declared dead (crash or heartbeat)
     lease_expiries: int = 0  # chunk leases that expired at the controller
     duplicate_results: int = 0  # late/duplicate commits dropped per task key
+    respawns: int = 0        # replacement workers spawned after a loss
+    respawn_failures: int = 0  # respawn attempts that failed to come up
+    bisections: int = 0      # chunks split while isolating a poison task
+    quarantined: list = field(default_factory=list)  # poison tasks, as dicts
 
     @property
     def tasks(self) -> int:
@@ -358,6 +390,10 @@ def timing_summary(
             "lost_workers": t.lost_workers,
             "lease_expiries": t.lease_expiries,
             "duplicate_results": t.duplicate_results,
+            "respawns": t.respawns,
+            "respawn_failures": t.respawn_failures,
+            "bisections": t.bisections,
+            "quarantined": list(t.quarantined),
         }
         if include_metrics:
             row["metrics"] = (t.metrics or MetricsSnapshot()).as_dict()
@@ -544,7 +580,12 @@ class _SweepState:
             f"sweep {self.label!r} task {i} failed after "
             f"{outcome.attempts} attempt(s): {outcome.error}"
         )
-        cls = TaskTimeoutError if outcome.error_kind == "timeout" else TaskError
+        if outcome.error_kind == "timeout":
+            cls = TaskTimeoutError
+        elif outcome.error_kind == "quarantine":
+            cls = TaskQuarantinedError
+        else:
+            cls = TaskError
         kwargs = dict(
             task_key=key,
             task_index=i,
@@ -613,6 +654,48 @@ class _SweepState:
             worker=worker,
         )
 
+    def quarantine(self, index: int, base: int, reason: str) -> None:
+        """Declare one task poisonous and commit a failure for it.
+
+        Records the verdict in the sweep timing, the checkpoint (as a
+        payload-free quarantine record — a later resume re-runs the task
+        once more), and the event stream, then folds a failed outcome
+        through the normal at-most-once commit so fail-fast and failure
+        accounting behave exactly like any exhausted task.
+        """
+        if self.is_committed(index):
+            return
+        item = self.tasks[index]
+        key = checkpoint_mod.task_key(item, index)
+        error = (
+            f"task quarantined after repeatedly killing its worker "
+            f"(last loss: {reason})"
+        )
+        self.timing.quarantined.append({
+            "task_key": key,
+            "index": index,
+            "task": repr(item)[:160],
+            "error": error,
+        })
+        if self.ckpt is not None:
+            self.ckpt.append_quarantine(key, index, repr(item)[:160], error)
+        if self.live is not None:
+            self.live.quarantined_task()
+        events.emit(
+            "task_quarantined",
+            run_id=self.timing.run_id,
+            label=self.label,
+            task_index=index,
+            task_key=key,
+            reason=reason,
+        )
+        self.absorb(_TaskOutcome(
+            index=index,
+            attempts=base + 1,
+            error_kind="quarantine",
+            error=error,
+        ))
+
     def absorb_chunk_error(self, chunk, exc: Exception) -> None:
         """An infrastructure failure lost a whole chunk (e.g. the result
         would not unpickle); every not-yet-committed task in it counts
@@ -656,18 +739,22 @@ def _bump_lost_entries(chunk, chaos: ChaosPolicy | None, reason: str):
     injection-free.  ``crash`` losses attribute kills (same logic as the
     pool's :func:`_bump_killed_entries`); ``heartbeat`` losses also
     consume the chunk-level heartbeat drop, which is decided from the
-    first entry.  Lease-driven requeues (``reason='lease'``) resubmit
-    unchanged — a real hang carries no chaos decision to consume.
+    first entry.  A chaos ``worker-hang`` is consumed for *any* reason —
+    including lease-driven requeues, which are exactly how a hang
+    surfaces — while a real hang (no chaos decision) resubmits
+    unchanged.
     """
-    if chaos is None or reason == "lease":
+    if chaos is None:
         return list(chunk)
     bumped = []
     for pos, (index, base, item) in enumerate(chunk):
-        bump = chaos.kills(index, base) or (
-            reason == "heartbeat"
-            and pos == 0
-            and chaos.drops_heartbeat(index, base)
-        )
+        bump = pos == 0 and chaos.hangs(index, base)
+        if reason != "lease":
+            bump = bump or chaos.kills(index, base) or (
+                reason == "heartbeat"
+                and pos == 0
+                and chaos.drops_heartbeat(index, base)
+            )
         bumped.append((index, base + 1, item) if bump else (index, base, item))
     return bumped
 
@@ -676,6 +763,43 @@ def _bump_lost_entries(chunk, chaos: ChaosPolicy | None, reason: str):
 # pickling, and scheduler noise without masking a genuinely stuck worker.
 _DEADLINE_SLACK = 1.25
 _DEADLINE_GRACE_S = 2.0
+
+# Unattributed worker losses a chunk survives before the scheduler
+# suspects a poison task and bisects (or, at single-task grain,
+# quarantines).  Chaos-attributed losses never count — they are one-shot
+# by construction and the rerun is clean.
+_POISON_LOSS_LIMIT = 2
+
+
+# ---------------------------------------------------------------------
+# Drain requests (SIGTERM): a process-wide flag the scheduler loop polls
+# between events.  On a drain, in-flight chunks finish and commit,
+# pending chunks are withdrawn, and the sweep raises
+# :class:`SweepDrainedError` so the caller can exit with a resume hint.
+
+_DRAIN = {"requested": False, "reason": ""}
+
+
+def request_drain(reason: str = "signal") -> None:
+    """Ask running (and subsequent) sweeps to drain and stop.
+
+    Safe to call from a signal handler: sets a flag the scheduler loop
+    polls — no locks, no I/O.  Stays set until :func:`clear_drain`, so
+    a multi-sweep command stops after the sweep that noticed it.
+    """
+    _DRAIN["requested"] = True
+    _DRAIN["reason"] = reason
+
+
+def drain_requested() -> bool:
+    """Whether a drain has been requested and not yet cleared."""
+    return _DRAIN["requested"]
+
+
+def clear_drain() -> None:
+    """Reset the drain flag (the CLI does this between invocations)."""
+    _DRAIN["requested"] = False
+    _DRAIN["reason"] = ""
 
 
 def _wave_budget(chunks, policy: TaskPolicy) -> float:
@@ -731,6 +855,7 @@ def _drive_backend(fn, chunks, jobs, policy, chaos, state: _SweepState,
     outstanding: dict[int, list] = {}
     leases: dict[int, float | None] = {}
     requeue_counts: dict[int, int] = {}
+    loss_counts: dict[int, int] = {}
     ids = itertools.count()
     pool_rebuilds = 0
 
@@ -763,9 +888,54 @@ def _drive_backend(fn, chunks, jobs, policy, chaos, state: _SweepState,
                 ),
             ))
 
+    def bisect_chunk(chunk_id: int, reason: str) -> None:
+        # A chunk that keeps killing workers without a chaos decision to
+        # blame hides a poison task: split it so the halves isolate the
+        # culprit (fresh chunk ids, fresh requeue and loss budgets) —
+        # one bad task no longer costs every retry of its chunk-mates.
+        chunk = outstanding.pop(chunk_id)
+        leases.pop(chunk_id, None)
+        timing.bisections += 1
+        mid = len(chunk) // 2
+        deadline = None
+        if policy.timeout_s is not None:
+            deadline = time.monotonic() + _wave_budget([chunk], policy)
+        half_ids = []
+        for half in (chunk[:mid], chunk[mid:]):
+            half_id = next(ids)
+            half_ids.append(half_id)
+            outstanding[half_id] = half
+            leases[half_id] = deadline
+            executor.submit_chunk(half_id, half)
+        events.emit(
+            "chunk_bisected",
+            run_id=timing.run_id,
+            label=state.label,
+            chunk_id=chunk_id,
+            reason=reason,
+            halves=half_ids,
+            tasks=len(chunk),
+        )
+
     def requeue_chunk(chunk_id: int, reason: str) -> None:
-        chunk = _bump_lost_entries(outstanding[chunk_id], chaos, reason)
+        original = outstanding[chunk_id]
+        chunk = _bump_lost_entries(original, chaos, reason)
         outstanding[chunk_id] = chunk
+        attributed = any(
+            b_new != b_old
+            for (_i1, b_old, _t1), (_i2, b_new, _t2) in zip(original, chunk)
+        )
+        if reason in ("crash", "heartbeat") and not attributed:
+            losses = loss_counts[chunk_id] = loss_counts.get(chunk_id, 0) + 1
+            if losses >= _POISON_LOSS_LIMIT:
+                if len(chunk) > 1:
+                    bisect_chunk(chunk_id, reason)
+                else:
+                    outstanding.pop(chunk_id)
+                    leases.pop(chunk_id, None)
+                    index, base, _item = chunk[0]
+                    state.quarantine(index, base, reason)
+                return
         count = requeue_counts[chunk_id] = requeue_counts.get(chunk_id, 0) + 1
         if count > policy.max_requeues:
             outstanding.pop(chunk_id)
@@ -839,6 +1009,28 @@ def _drive_backend(fn, chunks, jobs, policy, chaos, state: _SweepState,
             for chunk_id in event.chunk_ids:
                 if chunk_id in outstanding:
                     requeue_chunk(chunk_id, event.reason)
+        elif isinstance(event, executors_mod.WorkerRespawned):
+            timing.respawns += 1
+            if state.live is not None:
+                state.live.respawned(event.worker)
+            events.emit(
+                "worker_respawned",
+                run_id=timing.run_id,
+                label=state.label,
+                backend=backend,
+                worker=event.worker,
+                replaced=event.replaced,
+            )
+        elif isinstance(event, executors_mod.RespawnFailed):
+            timing.respawn_failures += 1
+            events.emit(
+                "worker_respawn_failed",
+                run_id=timing.run_id,
+                label=state.label,
+                backend=backend,
+                replaced=event.replaced,
+                ordinal=event.ordinal,
+            )
         elif isinstance(event, executors_mod.PoolBroken):
             pool_rebuilds += 1
             timing.pool_rebuilds += 1
@@ -885,9 +1077,31 @@ def _drive_backend(fn, chunks, jobs, policy, chaos, state: _SweepState,
 
     remaining: list = []
     broken = False
+    draining = False
+    drain_deadline = 0.0
+    stranded_tasks = 0
     try:
         submit_wave(chunks)
         while outstanding:
+            if _DRAIN["requested"] and not draining:
+                draining = True
+                drain_deadline = time.monotonic() + policy.drain_timeout_s
+                # Withdraw everything not yet running; what a worker
+                # already picked up finishes and commits normally.
+                for chunk_id in sorted(outstanding):
+                    if executor.cancel_pending(chunk_id):
+                        stranded_tasks += len(outstanding.pop(chunk_id))
+                        leases.pop(chunk_id, None)
+                events.emit(
+                    "sweep_draining",
+                    run_id=timing.run_id,
+                    label=state.label,
+                    reason=_DRAIN["reason"],
+                    inflight_chunks=len(outstanding),
+                    stranded_tasks=stranded_tasks,
+                )
+                if not outstanding:
+                    break
             wait_s = None
             armed = [d for d in leases.values() if d is not None]
             if armed:
@@ -898,10 +1112,24 @@ def _drive_backend(fn, chunks, jobs, policy, chaos, state: _SweepState,
                 # armed (local pool would otherwise block indefinitely
                 # on its futures).
                 wait_s = 0.5
+            if wait_s is None or wait_s > 1.0:
+                # Bounded wait so a drain request (SIGTERM) is noticed
+                # within a second even with no lease armed and no live
+                # consumer attached.
+                wait_s = 1.0
+            if draining:
+                wait_s = min(wait_s, 0.25)
             for event in executor.poll(wait_s):
                 handle_event(event)
             if state.live is not None:
                 state.live.tick(executor)
+            if draining and outstanding \
+                    and time.monotonic() >= drain_deadline:
+                # In-flight chunks outlived the drain timeout: give up
+                # on them (their uncommitted tasks count as stranded —
+                # the resume re-runs them) and let shutdown kill the
+                # workers.
+                break
             if not armed:
                 continue
             now = time.monotonic()
@@ -929,6 +1157,23 @@ def _drive_backend(fn, chunks, jobs, policy, chaos, state: _SweepState,
                     chunk = outstanding.pop(chunk_id)
                     leases.pop(chunk_id, None)
                     expire_chunk(chunk_id, chunk)
+        if draining:
+            for chunk in outstanding.values():
+                stranded_tasks += sum(
+                    1 for index, _base, _item in chunk
+                    if not state.is_committed(index)
+                )
+            raise SweepDrainedError(
+                f"sweep {state.label!r} drained after "
+                f"{_DRAIN['reason'] or 'drain request'}: "
+                f"{len(state.committed)}/{len(state.tasks)} task(s) "
+                f"committed, {stranded_tasks} stranded",
+                label=state.label,
+                run_id=timing.run_id,
+                completed=len(state.committed),
+                total=len(state.tasks),
+                stranded=stranded_tasks,
+            )
     except ExecutorBrokenError:
         broken = True
         remaining = [outstanding[cid] for cid in sorted(outstanding)]
@@ -1037,7 +1282,7 @@ def run_sweep(
         chunksize = max(1, -(-len(tasks) // (jobs * 4)))
     entries = [(i, 0, item) for i, item in enumerate(tasks)]
     chunks = _chunked(entries, chunksize)
-    ckpt = checkpoint_mod.open_sweep(label, run_id)
+    ckpt = checkpoint_mod.open_sweep(label, run_id, chaos=chaos)
     state = _SweepState(tasks, label, policy, timing, ckpt)
     # Chunk-granular restore: a chunk re-runs whole unless every one of
     # its tasks is checkpointed (see repro.experiments.checkpoint).
@@ -1078,12 +1323,27 @@ def run_sweep(
         if pending_chunks:
             _run_with_executors(fn, pending_chunks, jobs, policy, chaos,
                                 state, prepare_chunk, backend)
+        if ckpt is not None:
+            # The sweep ran to completion: publish the crash-consistent
+            # "this checkpoint is the full record" marker.
+            ckpt.finalize(len(tasks), failures=timing.failures)
     except KeyboardInterrupt:
         events.emit(
             "sweep_interrupted",
             run_id=run_id,
             label=label,
             completed_tasks=sum(s is not None for s in state.snapshots),
+            checkpointed=ckpt is not None,
+        )
+        raise
+    except SweepDrainedError as exc:
+        events.emit(
+            "sweep_drained",
+            run_id=run_id,
+            label=label,
+            reason=_DRAIN["reason"],
+            completed_tasks=exc.completed,
+            stranded_tasks=exc.stranded,
             checkpointed=ckpt is not None,
         )
         raise
@@ -1115,6 +1375,8 @@ def run_sweep(
             executor=backend,
             requeues=timing.requeues,
             lost_workers=timing.lost_workers,
+            respawns=timing.respawns,
+            quarantined=len(timing.quarantined),
         )
     return state.results, timing
 

@@ -18,8 +18,10 @@ loop consumes.  Three implementations ship:
   localhost TCP protocol of length-prefixed pickled frames, standing in
   for the multi-host case.  Workers send heartbeats from a daemon
   thread and stream per-task results, so the controller detects a lost
-  or silent worker (EOF, missed heartbeats) and requeues its chunk onto
-  a survivor without restarting the backend.
+  or silent worker (EOF, missed heartbeats), requeues its chunk onto
+  a survivor without restarting the backend, and — within
+  ``TaskPolicy.max_respawns`` — spawns a replacement worker so the
+  sweep recovers full capacity.
 
 This module also owns the *worker-side* execution layer the backends
 share — the per-attempt retry loop (:func:`_attempt_task`), the
@@ -77,6 +79,8 @@ __all__ = [
     "ChunkFailed",
     "WorkerLost",
     "PoolBroken",
+    "WorkerRespawned",
+    "RespawnFailed",
     "Executor",
     "InlineExecutor",
     "LocalPoolExecutor",
@@ -361,6 +365,25 @@ class PoolBroken:
     chunk_ids: tuple = ()
 
 
+@dataclass(frozen=True)
+class WorkerRespawned:
+    """A replacement worker came up after a loss (socket backend);
+    ``replaced`` names the worker it stands in for."""
+
+    worker: str
+    replaced: str = ""
+
+
+@dataclass(frozen=True)
+class RespawnFailed:
+    """A scheduled replacement worker failed to come up (chaos
+    ``respawn-fail`` or a real spawn error); the respawn budget was
+    still consumed."""
+
+    replaced: str = ""
+    ordinal: int = 0
+
+
 class Executor:
     """Protocol all backends implement; see the module docstring.
 
@@ -398,6 +421,17 @@ class Executor:
         further events for it are delivered.
         """
         raise NotImplementedError
+
+    def cancel_pending(self, chunk_id: int) -> bool:
+        """Cancel one chunk *only if it has not started executing*.
+
+        Used by the drain path (SIGTERM): started chunks are left to
+        finish and commit, unstarted ones are withdrawn so the process
+        can exit early with a resumable checkpoint.  True when the
+        chunk was withdrawn; False when it is already running (or
+        unknown) and will still report events.
+        """
+        return False
 
     def heartbeat(self) -> dict:
         """Live-worker health, keyed by worker id (a string).
@@ -472,6 +506,15 @@ class InlineExecutor(Executor):
         if self._current is not None and self._current[0] == chunk_id:
             self._current = None
             return True
+        for queued in list(self._queue):
+            if queued[0] == chunk_id:
+                self._queue.remove(queued)
+                return True
+        return False
+
+    def cancel_pending(self, chunk_id: int) -> bool:
+        if self._current is not None and self._current[0] == chunk_id:
+            return False  # mid-chunk: let it finish
         for queued in list(self._queue):
             if queued[0] == chunk_id:
                 self._queue.remove(queued)
@@ -594,6 +637,14 @@ class LocalPoolExecutor(Executor):
             self._needs_kill = True
         if self._needs_kill and not self._futures:
             self._teardown(kill=True)
+        return True
+
+    def cancel_pending(self, chunk_id: int) -> bool:
+        future = self._by_chunk.get(chunk_id)
+        if future is None or not future.cancel():
+            return False  # unknown or already picked up by a worker
+        self._by_chunk.pop(chunk_id, None)
+        self._futures.pop(future, None)
         return True
 
     def heartbeat(self) -> dict:
@@ -751,6 +802,13 @@ def _socket_worker_main(host, port, worker_id, fn, policy, chaos, prepare,
                  "worker": worker_id},
                 send_lock,
             )
+            if chaos is not None and chaos.hangs(first_index, first_base):
+                # The worker stalls *after* accepting the chunk while
+                # heartbeats keep flowing — only the chunk lease can
+                # notice; the controller cancels (kills) us and the
+                # chunk's rerun is clean (attempt bump consumes the
+                # decision).
+                time.sleep(chaos.hang_s)
             items = [entry[2] for entry in entries]
             progress["chunk"] = chunk_id
             progress["done"] = 0
@@ -797,8 +855,12 @@ class SocketExecutor(Executor):
     frames — result frames do not count — so a worker whose heartbeat
     thread is muted is declared lost even while it is still streaming
     results, which is exactly the failure the at-most-once commit must
-    absorb.  Lost workers are not respawned: their chunks requeue onto
-    survivors, and when no worker is left the executor raises
+    absorb.  A lost worker's chunks requeue onto survivors, and — when
+    ``TaskPolicy.max_respawns`` allows — a replacement process is
+    spawned after ``respawn_backoff_s`` (same frame protocol, fresh
+    worker id, cold caches), so the sweep recovers full capacity
+    instead of only shrinking.  When the respawn budget is spent and no
+    worker is left the executor raises
     :class:`~repro.common.errors.ExecutorBrokenError` so the scheduler
     degrades to the next backend.
     """
@@ -820,7 +882,8 @@ class SocketExecutor(Executor):
         self._listener.setblocking(False)
         self._selector.register(self._listener, selectors.EVENT_READ,
                                 {"kind": "listener"})
-        host, port = self._listener.getsockname()
+        self._addr = self._listener.getsockname()
+        self._ctx = multiprocessing.get_context()
         self._procs: dict = {}       # worker_id -> Process
         self._states: dict = {}      # worker_id -> connection state
         self._last_hb: dict = {}     # worker_id -> monotonic timestamp
@@ -828,16 +891,62 @@ class SocketExecutor(Executor):
         self._busy: dict = {}        # worker_id -> chunk_id
         self._assigned: dict = {}    # chunk_id -> worker_id
         self._queue: deque = deque()  # (chunk_id, entries)
-        ctx = multiprocessing.get_context()
+        self._next_worker_id = self._jobs
+        self._respawns_used = 0
+        self._max_respawns = max(0, getattr(
+            self._policy, "max_respawns", 0) or 0)
+        self._respawn_backoff = max(0.0, getattr(
+            self._policy, "respawn_backoff_s", 0.0) or 0.0)
+        self._pending_spawns: list = []  # (due monotonic, replaced id)
+        self._pending_events: list = []  # RespawnFailed queued for poll
         for worker_id in range(self._jobs):
-            proc = ctx.Process(
-                target=_socket_worker_main,
-                args=(host, port, worker_id, self._fn, self._policy,
-                      self._chaos, self._prepare, self._hb_interval),
-                daemon=True,
-            )
-            proc.start()
-            self._procs[worker_id] = proc
+            self._spawn_worker(worker_id)
+
+    def _spawn_worker(self, worker_id: int) -> None:
+        host, port = self._addr
+        proc = self._ctx.Process(
+            target=_socket_worker_main,
+            args=(host, port, worker_id, self._fn, self._policy,
+                  self._chaos, self._prepare, self._hb_interval),
+            daemon=True,
+        )
+        proc.start()
+        self._procs[worker_id] = proc
+
+    def _schedule_respawn(self, replaced) -> None:
+        """Book a replacement for a lost worker, if budget remains.
+
+        The budget is consumed at scheduling time, so a chaos-vetoed
+        respawn (``respawn-fail``) costs an attempt exactly like a real
+        spawn failure would.
+        """
+        if replaced is None or self._respawns_used >= self._max_respawns:
+            return
+        ordinal = self._respawns_used
+        self._respawns_used += 1
+        if self._chaos is not None and self._chaos.fails_respawn(ordinal):
+            self._pending_events.append(
+                RespawnFailed(replaced=str(replaced), ordinal=ordinal))
+            return
+        due = time.monotonic() + self._respawn_backoff
+        self._pending_spawns.append((due, replaced))
+
+    def _spawn_due_replacements(self, events: list) -> None:
+        now = time.monotonic()
+        for entry in [e for e in self._pending_spawns if e[0] <= now]:
+            self._pending_spawns.remove(entry)
+            _due, replaced = entry
+            worker_id = self._next_worker_id
+            self._next_worker_id += 1
+            try:
+                self._spawn_worker(worker_id)
+            except OSError:
+                events.append(RespawnFailed(
+                    replaced=str(replaced),
+                    ordinal=self._respawns_used - 1))
+                continue
+            events.append(WorkerRespawned(worker=str(worker_id),
+                                          replaced=str(replaced)))
 
     # -- wiring --------------------------------------------------------
     def _accept(self) -> None:
@@ -888,6 +997,7 @@ class SocketExecutor(Executor):
         if not silent:
             events.append(WorkerLost(worker=str(worker_id),
                                      chunk_ids=chunk_ids, reason=reason))
+        self._schedule_respawn(worker_id)
 
     def _read_worker(self, state, events: list) -> None:
         try:
@@ -949,6 +1059,8 @@ class SocketExecutor(Executor):
             return
         if self._states:
             return
+        if self._pending_spawns:
+            return  # a replacement is booked but not yet started
         if any(proc.is_alive() for proc in self._procs.values()):
             return  # spawned but not yet connected
         raise ExecutorBrokenError(
@@ -960,7 +1072,9 @@ class SocketExecutor(Executor):
         self._queue.append((chunk_id, list(entries)))
 
     def poll(self, timeout_s: float | None = None) -> list:
-        events: list = []
+        events: list = list(self._pending_events)
+        self._pending_events.clear()
+        self._spawn_due_replacements(events)
         budget = self._hb_interval
         if timeout_s is not None:
             budget = max(0.0, min(timeout_s, self._hb_interval))
@@ -1000,7 +1114,15 @@ class SocketExecutor(Executor):
         else:
             self._kill_proc(worker_id)
             self._busy.pop(worker_id, None)
+            self._schedule_respawn(worker_id)
         return True
+
+    def cancel_pending(self, chunk_id: int) -> bool:
+        for queued in list(self._queue):
+            if queued[0] == chunk_id:
+                self._queue.remove(queued)
+                return True
+        return False
 
     def heartbeat(self) -> dict:
         now = time.monotonic()
@@ -1031,6 +1153,8 @@ class SocketExecutor(Executor):
         self._busy.clear()
         self._assigned.clear()
         self._queue.clear()
+        self._pending_spawns.clear()
+        self._pending_events.clear()
         for worker_id in list(self._procs):
             self._kill_proc(worker_id)
         try:

@@ -13,7 +13,9 @@ import json
 from pathlib import Path
 
 from repro.common.config import ChipModel
+from repro.common.errors import ConfigError
 from repro.common.tables import format_table
+from repro.experiments import checkpoint as checkpoint_mod
 from repro.experiments import engine
 from repro.experiments.coverage import fault_coverage_campaign
 from repro.experiments.frequency import fig7_frequency_histogram
@@ -36,7 +38,7 @@ from repro.obs import events
 from repro.obs.tracing import flatten_spans
 from repro.workloads.profiles import get_profile
 
-__all__ = ["generate_report"]
+__all__ = ["generate_report", "render_partial_report"]
 
 _DEFAULT_SUBSET = ("gzip", "mcf", "mesa")
 
@@ -133,20 +135,36 @@ def _render_markdown(data: dict) -> str:
             or t.get("pool_rebuilds") or t.get("resumed_tasks")
             or t.get("degraded") or t.get("requeues")
             or t.get("lost_workers") or t.get("lease_expiries")
-            or t.get("duplicate_results")
+            or t.get("duplicate_results") or t.get("respawns")
+            or t.get("respawn_failures") or t.get("bisections")
+            or t.get("quarantined")
         ]
         if disturbed:
             sections.append(format_table(
                 "Sweep resilience (failures, retries, recovery)",
                 ["sweep", "failures", "retries", "timeouts",
-                 "pool rebuilds", "resumed", "degraded"],
+                 "pool rebuilds", "respawns", "quarantined", "resumed",
+                 "degraded"],
                 [
                     [t["label"], t.get("failures", 0), t.get("retries", 0),
                      t.get("timeouts", 0), t.get("pool_rebuilds", 0),
+                     t.get("respawns", 0), len(t.get("quarantined") or ()),
                      t.get("resumed_tasks", 0),
                      "yes" if t.get("degraded") else "no"]
                     for t in disturbed
                 ],
+            ))
+        quarantined_rows = [
+            [t["label"], q.get("task_key", "?"), q.get("index", "?"),
+             q.get("error", "")]
+            for t in data["sweep_timings"]
+            for q in (t.get("quarantined") or ())
+        ]
+        if quarantined_rows:
+            sections.append(format_table(
+                "Quarantined tasks (poisonous grains isolated by bisection)",
+                ["sweep", "task key", "index", "error"],
+                quarantined_rows,
             ))
         backends: dict[str, dict] = {}
         for t in data["sweep_timings"]:
@@ -154,11 +172,11 @@ def _render_markdown(data: dict) -> str:
                 row = backends.setdefault(name, {
                     "sweeps": 0, "requeues": 0, "lost_workers": 0,
                     "lease_expiries": 0, "duplicate_results": 0,
-                    "pool_rebuilds": 0, "degraded": 0,
+                    "pool_rebuilds": 0, "respawns": 0, "degraded": 0,
                 })
                 row["sweeps"] += 1
                 for key in ("requeues", "lost_workers", "lease_expiries",
-                            "duplicate_results", "pool_rebuilds"):
+                            "duplicate_results", "pool_rebuilds", "respawns"):
                     row[key] += t.get(key, 0)
                 row["degraded"] += 1 if t.get("degraded") else 0
         if backends:
@@ -166,12 +184,12 @@ def _render_markdown(data: dict) -> str:
                 "Executor backends (per-backend resilience)",
                 ["backend", "sweeps", "requeues", "lost workers",
                  "lease expiries", "dup results dropped",
-                 "pool rebuilds", "degraded sweeps"],
+                 "pool rebuilds", "respawns", "degraded sweeps"],
                 [
                     [name, row["sweeps"], row["requeues"],
                      row["lost_workers"], row["lease_expiries"],
                      row["duplicate_results"], row["pool_rebuilds"],
-                     row["degraded"]]
+                     row["respawns"], row["degraded"]]
                     for name, row in sorted(backends.items())
                 ],
             ))
@@ -206,6 +224,88 @@ def _render_markdown(data: dict) -> str:
              for path, count, wall, cpu in span_rows],
         ))
     return "\n\n".join(sections) + "\n"
+
+
+def render_partial_report(
+    run_id: str,
+    out_dir: str | Path,
+    checkpoint_root: str | Path | None = None,
+) -> dict:
+    """Render what an interrupted run committed before it stopped.
+
+    Scans every sweep checkpoint under ``<checkpoint_root>/<run_id>``
+    (read-only — safe against a live run) and writes
+    ``results_partial.json``/``results_partial.md``: committed task
+    counts per sweep, quarantined tasks with their errors, and the
+    resume hint.  The markdown is prominently marked PARTIAL so it
+    cannot be mistaken for a complete report.
+    """
+    root = Path(checkpoint_root) if checkpoint_root is not None else (
+        checkpoint_mod.checkpoint_dir()
+    )
+    if root is None:
+        raise ConfigError(
+            "partial report needs a checkpoint directory "
+            "(--checkpoint-dir or set_checkpoint_dir)"
+        )
+    run_dir = Path(root) / run_id
+    sweeps = [
+        checkpoint_mod.scan_sweep(path)
+        for path in sorted(run_dir.glob("*.jsonl"))
+    ]
+    data = {
+        "partial": True,
+        "run_id": run_id,
+        "checkpoint_dir": str(root),
+        "sweeps": sweeps,
+        "tasks_committed": sum(s["tasks_committed"] for s in sweeps),
+        "quarantined": [
+            dict(q, sweep=s["label"]) for s in sweeps for q in s["quarantined"]
+        ],
+        "finalized_sweeps": sum(1 for s in sweeps if s["finalized"]),
+    }
+
+    sections = [
+        "# repro results — PARTIAL\n",
+        "**This run was interrupted.** The tables below cover only work "
+        "committed to the checkpoint before the run stopped; figures and "
+        "derived metrics are omitted because they would be computed from "
+        f"incomplete sweeps. Resume with:\n\n"
+        f"    python -m repro <command> --checkpoint-dir {root} "
+        f"--resume {run_id}\n",
+    ]
+    if sweeps:
+        sections.append(format_table(
+            "Partial sweep progress",
+            ["sweep", "tasks committed", "cpu (s)", "torn lines",
+             "finalized"],
+            [
+                [s["label"], s["tasks_committed"], f"{s['wall_s']:.2f}",
+                 s["truncated_lines"], "yes" if s["finalized"] else "no"]
+                for s in sweeps
+            ],
+        ))
+    else:
+        sections.append(
+            f"No sweep checkpoints found under {run_dir} — the run "
+            "stopped before any task committed."
+        )
+    if data["quarantined"]:
+        sections.append(format_table(
+            "Quarantined tasks (excluded from resume until retried)",
+            ["sweep", "task key", "index", "error"],
+            [
+                [q["sweep"], q["task_key"], q["index"], q["error"]]
+                for q in data["quarantined"]
+            ],
+        ))
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "results_partial.json").write_text(
+        json.dumps(data, indent=2, default=str)
+    )
+    (out / "results_partial.md").write_text("\n\n".join(sections) + "\n")
+    return data
 
 
 def generate_report(

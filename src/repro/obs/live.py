@@ -137,6 +137,8 @@ class LiveStats:
         self.lost_workers = 0
         self.lease_expiries = 0
         self.duplicate_results = 0
+        self.respawns = 0
+        self.quarantined = 0
         self.finished = False
         self.task_wall_s = 0.0
         self.started_mono = time.monotonic()
@@ -218,6 +220,16 @@ class LiveStats:
     def note_duplicate(self) -> None:
         self.duplicate_results += 1
 
+    def respawned(self, worker: str) -> None:
+        self.respawns += 1
+        if worker:
+            self._worker(worker)  # the replacement shows up immediately
+        _notify("respawn", self)
+
+    def quarantined_task(self) -> None:
+        self.quarantined += 1
+        _notify("quarantine", self)
+
     def fold_heartbeat(self, heartbeat: dict) -> None:
         """Absorb one normalized ``Executor.heartbeat()`` mapping."""
         for worker, info in heartbeat.items():
@@ -296,6 +308,8 @@ class LiveStats:
             "lost_workers": self.lost_workers,
             "lease_expiries": self.lease_expiries,
             "duplicate_results": self.duplicate_results,
+            "respawns": self.respawns,
+            "quarantined": self.quarantined,
             "elapsed_s": round(self.elapsed_s(), 3),
             "rate_per_s": round(self.rate(), 3),
             "eta_s": None if eta is None else round(eta, 1),
@@ -319,8 +333,8 @@ def add_listener(listener) -> None:
     """Register a ``listener(kind, stats)`` callback for live updates.
 
     ``kind`` is ``"begin"``, ``"task"``, ``"tick"``, ``"worker_lost"``,
-    or ``"sweep_end"``.  Listener exceptions are swallowed — rendering
-    must never disturb a sweep.
+    ``"respawn"``, ``"quarantine"``, or ``"sweep_end"``.  Listener
+    exceptions are swallowed — rendering must never disturb a sweep.
     """
     if listener not in _LISTENERS:
         _LISTENERS.append(listener)
@@ -483,6 +497,8 @@ def render_prometheus() -> str:
         ("lost_workers", "Workers declared dead."),
         ("lease_expiries", "Chunk leases expired at the controller."),
         ("duplicate_results", "Late or duplicated commits dropped."),
+        ("respawns", "Replacement workers spawned after a loss."),
+        ("quarantined", "Tasks quarantined as poisonous."),
         ("elapsed_s", "Seconds since the sweep began."),
         ("rate_per_s", "Moving-window completion rate."),
     )
@@ -750,14 +766,22 @@ def fold_event(stats: LiveStats | None, record: dict) -> LiveStats | None:
         stats.lease_expiries += 1
     elif kind == "duplicate_result_dropped":
         stats.duplicate_results += 1
+    elif kind == "worker_respawned":
+        stats.respawns += 1
+        worker = str(record.get("worker", "") or "")
+        if worker:
+            stats._worker(worker)
+    elif kind == "task_quarantined":
+        stats.quarantined += 1
     elif kind == "sweep":
         stats.finished = True
     return stats
 
 
 _EVENT_SUMMARY_FIELDS = (
-    "run_id", "label", "task_index", "worker", "reason", "chunk_id",
-    "tasks", "executor", "wall_s", "failures", "error", "path",
+    "run_id", "label", "task_index", "worker", "replaced", "reason",
+    "chunk_id", "tasks", "executor", "wall_s", "failures",
+    "stranded_tasks", "error", "path",
 )
 
 

@@ -254,6 +254,7 @@ class TestSocketResilience:
             _double, [1, 2, 3, 4], jobs=2, chunksize=1,
             executor="socket", record=False,
             chaos=ChaosPolicy(kill_p=1.0),
+            policy=TaskPolicy(max_respawns=0),
         )
         assert got == clean
         assert timing.degraded
@@ -268,7 +269,7 @@ class TestSocketResilience:
                 _double, [1, 2, 3, 4], jobs=2, chunksize=1,
                 executor="socket", record=False,
                 chaos=ChaosPolicy(kill_p=1.0),
-                policy=TaskPolicy(degrade_serial=False),
+                policy=TaskPolicy(degrade_serial=False, max_respawns=0),
             )
 
 

@@ -6,9 +6,15 @@ bit-identity oracles):
 
 * **generation** — ``TraceGenerator.generate_arrays`` vs the
   ``_generate_chunk_reference`` loop, same instruction budget;
+* **leading_kernel** — the windowed issue/retire kernel
+  (``_scan_window``) vs the retained per-row ``_advance`` oracle, same
+  trace and memoized schedule;
 * **fig6 end-to-end** — ``fig6_performance`` on the columnar pipeline vs
   the legacy pipeline (object generation, per-address preload, object
-  scheduling), restored via monkeypatching for the duration of the run.
+  scheduling), restored via monkeypatching for the duration of the run;
+* **fig6_simbatch** — the same sweep with each benchmark's chip models
+  stepped as one lockstep ``SimBatch`` (shared per-window prepare
+  statics), gated against the previous PR's committed batched time.
 
 Both comparisons also assert bit-identical results — the speedup only
 counts because nothing changed.
@@ -24,7 +30,9 @@ import pytest
 from conftest import BENCH_WINDOW, print_table
 
 from repro.common import memo
-from repro.core.leading import LeadingCoreTiming
+from repro.common.config import ChipModel, SystemConfig
+from repro.core.branch import BranchPredictor
+from repro.core.leading import LeadingCoreTiming, build_trace_schedule
 from repro.core.memory import MemoryHierarchy
 from repro.core.rmt import RmtSimulator
 from repro.experiments.perf import fig6_performance
@@ -35,6 +43,9 @@ from repro.workloads.profiles import get_profile
 _RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_trace.json"
 _GEN_INSTRUCTIONS = 200_000
 _FIG6_SUBSET = ("gzip", "mcf")
+# The fig6_batched baseline committed before the windowed kernel /
+# SimBatch work landed — the acceptance reference for fig6_simbatch.
+_PREV_BATCHED_S = 1.3806
 
 
 @contextmanager
@@ -60,12 +71,12 @@ def _legacy_pipeline():
         self.l1d.stats.reset()
         self.l2.stats.reset()
 
-    def object_leading_run(self, trace, warmup=0):
+    def object_leading_run(self, trace, warmup=0, schedule=None):
         if isinstance(trace, TraceArrays):
             trace = trace.to_instructions()
         return saved[2](self, trace, warmup)
 
-    def object_rmt_run(self, trace, warmup=0):
+    def object_rmt_run(self, trace, warmup=0, schedule=None):
         if isinstance(trace, TraceArrays):
             trace = trace.to_instructions()
         return saved[3](self, trace, warmup)
@@ -113,6 +124,40 @@ def test_trace_kernel_speedups(benchmark):
     assert columnar_trace == TraceArrays.from_instructions(reference_trace)
     generation_speedup = generation_reference_s / generation_columnar_s
 
+    # -- windowed issue/retire kernel vs the scalar oracle ---------------
+    # Same trace, same memoized schedule, fresh cores: the only variable
+    # is the scheduling loop itself (fused `_scan_window` vs per-row
+    # `_advance`), measured over the standard bench window.
+    kernel_cfg = SystemConfig.for_chip(ChipModel.TWO_D_A)
+    kernel_trace = TraceGenerator(profile, seed=42).generate_arrays(
+        BENCH_WINDOW.total
+    )
+    kernel_schedule = build_trace_schedule(kernel_trace, kernel_cfg.leading)
+
+    def _timed_leading_run(force_oracle):
+        memory = MemoryHierarchy(
+            kernel_cfg.leading, kernel_cfg.nuca, kernel_cfg.chip
+        )
+        core = LeadingCoreTiming(
+            kernel_cfg.leading, memory, BranchPredictor()
+        )
+        if force_oracle:
+            core.kernel_eligible = lambda: False
+        start = time.perf_counter()
+        result = core.run_arrays(
+            kernel_trace, BENCH_WINDOW.warmup, schedule=kernel_schedule
+        )
+        return time.perf_counter() - start, result
+
+    kernel_s = oracle_s = float("inf")
+    for _ in range(3):
+        elapsed, kernel_result = _timed_leading_run(force_oracle=False)
+        kernel_s = min(kernel_s, elapsed)
+        elapsed, oracle_result = _timed_leading_run(force_oracle=True)
+        oracle_s = min(oracle_s, elapsed)
+    assert kernel_result == oracle_result
+    leading_kernel_speedup = oracle_s / kernel_s
+
     # -- fig6 end-to-end ------------------------------------------------
     # Each stage takes the best of a few fresh-cache rounds: wall-clock
     # comparisons on a shared machine are scheduler-noisy, and the best
@@ -153,6 +198,15 @@ def test_trace_kernel_speedups(benchmark):
     ]
     fig6_batched_speedup = fig6_legacy_s / fig6_batched_s
 
+    # -- fig6 lockstep SimBatch -----------------------------------------
+    # Each benchmark's four chip models stepped as one SimBatch, sharing
+    # every window's prepare statics; bit-identical to the per-task path.
+    fig6_simbatch_s, simbatch_rows = _best_fig6(rounds=3, simbatch=True)
+    assert [dataclasses.asdict(r) for r in simbatch_rows] == [
+        dataclasses.asdict(r) for r in legacy_rows
+    ]
+    fig6_simbatch_speedup = fig6_legacy_s / fig6_simbatch_s
+
     print_table(
         "Columnar trace pipeline speedups",
         ["stage", "reference (s)", "columnar (s)", "speedup"],
@@ -160,10 +214,14 @@ def test_trace_kernel_speedups(benchmark):
             ["generation", round(generation_reference_s, 3),
              round(generation_columnar_s, 3),
              f"{generation_speedup:.1f}x"],
+            ["leading kernel", round(oracle_s, 3),
+             round(kernel_s, 3), f"{leading_kernel_speedup:.1f}x"],
             ["fig6 end-to-end", round(fig6_legacy_s, 3),
              round(fig6_columnar_s, 3), f"{fig6_speedup:.1f}x"],
             ["fig6 batched chunks", round(fig6_legacy_s, 3),
              round(fig6_batched_s, 3), f"{fig6_batched_speedup:.1f}x"],
+            ["fig6 simbatch", round(fig6_legacy_s, 3),
+             round(fig6_simbatch_s, 3), f"{fig6_simbatch_speedup:.1f}x"],
         ],
     )
 
@@ -190,9 +248,30 @@ def test_trace_kernel_speedups(benchmark):
             "batched_s": round(fig6_batched_s, 4),
             "speedup_vs_legacy": round(fig6_batched_speedup, 2),
         },
+        "leading_kernel": {
+            "instructions": BENCH_WINDOW.total,
+            "warmup": BENCH_WINDOW.warmup,
+            "oracle_s": round(oracle_s, 4),
+            "kernel_s": round(kernel_s, 4),
+            "speedup": round(leading_kernel_speedup, 2),
+        },
+        "fig6_simbatch": {
+            "benchmarks": list(_FIG6_SUBSET),
+            "warmup": BENCH_WINDOW.warmup,
+            "measured": BENCH_WINDOW.measured,
+            "simbatch_s": round(fig6_simbatch_s, 4),
+            "speedup_vs_legacy": round(fig6_simbatch_speedup, 2),
+            "speedup_vs_prev_batched": round(
+                _PREV_BATCHED_S / fig6_simbatch_s, 2
+            ),
+        },
     }, indent=2) + "\n")
 
     # Acceptance floors for the PR; the measured margins are far larger.
     assert generation_speedup >= 3.0
+    assert leading_kernel_speedup >= 1.1
     assert fig6_speedup >= 1.5
     assert fig6_batched_speedup >= 1.5
+    # The lockstep batch must beat the previous PR's committed batched
+    # time by >= 1.5x.
+    assert fig6_simbatch_s <= _PREV_BATCHED_S / 1.5

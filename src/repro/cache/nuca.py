@@ -117,10 +117,16 @@ class NucaCache:
             self._data_banks = order[1:]
         # Tag store: per set, list of (line, bank_slot) in LRU order.
         # bank_slot indexes self._data_banks for the ways policy; for the
-        # sets policy all ways of a set are in the same bank.
-        self._sets: list[list[tuple[int, int]]] = [
-            [] for _ in range(self._num_sets)
-        ]
+        # sets policy all ways of a set are in the same bank.  The rows
+        # are copy-on-write: ``_owned[s]`` is 0 while row ``s`` still
+        # aliases a shared row (the one empty list here, or a memoized
+        # preload template's row after :meth:`preload_lines`), and the
+        # access paths take a private copy before the first mutation — a
+        # simulation touches a tiny fraction of the sets it preloads, so
+        # constructing the store and installing a full 15 MB working set
+        # each cost one flat list copy.
+        self._sets: list[list[tuple[int, int]]] = [[]] * self._num_sets
+        self._owned = bytearray(self._num_sets)
 
     # ------------------------------------------------------------------
     @property
@@ -181,6 +187,9 @@ class NucaCache:
         set_index = self._set_index(line)
         bank = set_index % self.config.num_banks
         ways = self._sets[set_index]
+        if not self._owned[set_index]:
+            self._owned[set_index] = 1
+            ways = self._sets[set_index] = list(ways)
         latency = self._bank_latency(bank)
         for i, (resident, slot) in enumerate(ways):
             if resident == line:
@@ -196,6 +205,9 @@ class NucaCache:
         line = self._line(address)
         set_index = self._set_index(line)
         ways = self._sets[set_index]
+        if not self._owned[set_index]:
+            self._owned[set_index] = 1
+            ways = self._sets[set_index] = list(ways)
         # Central tag lookup first (2 cycles), then route to the data bank.
         tag_latency = 2
         for i, (resident, slot) in enumerate(ways):
@@ -295,7 +307,10 @@ class NucaCache:
         if plan is None:
             return False
         template, n, bank_counts = plan
-        self._sets = [list(ways) for ways in template]
+        # Alias the (possibly memoized, shared) template rows and let the
+        # access paths copy-on-write; only the outer list is private.
+        self._sets = list(template)
+        self._owned = bytearray(self._num_sets)
         self._misses.increment(n)
         for bank, count in enumerate(bank_counts):
             if count:

@@ -131,7 +131,7 @@ class SetAssociativeCache:
         if plan is None:
             return False
         template, n = plan
-        self._sets = [list(ways) for ways in template]
+        self._sets = list(map(list, template))
         self._misses.increment(n)
         return True
 

@@ -86,12 +86,16 @@ class ArtifactCache:
         self._thermal_models: dict[tuple, object] = {}
         self._grids: dict[tuple, object] = {}
         self._preload_plans: dict[tuple, object] = {}
+        self._schedules: dict[tuple, tuple[int, object]] = {}
+        self._branch_streams: dict[tuple, object] = {}
         self.stats: dict[str, MemoStats] = {
             "trace": MemoStats(),
             "predictor": MemoStats(),
             "thermal": MemoStats(),
             "grid": MemoStats(),
             "preload": MemoStats(),
+            "schedule": MemoStats(),
+            "branch": MemoStats(),
         }
 
     def _record(self, category: str, hit: bool) -> None:
@@ -111,6 +115,8 @@ class ArtifactCache:
         self._thermal_models.clear()
         self._grids.clear()
         self._preload_plans.clear()
+        self._schedules.clear()
+        self._branch_streams.clear()
         for stats in self.stats.values():
             stats.hits = 0
             stats.misses = 0
@@ -216,7 +222,59 @@ class ArtifactCache:
             self._preload_plans[key] = plan
         return plan
 
+    # -- trace schedules -----------------------------------------------
+    def trace_schedule(self, profile: WorkloadProfile, seed: int,
+                       count: int, config):
+        """A :class:`~repro.core.leading.TraceSchedule` covering the
+        first ``count`` rows of ``(profile, seed)``'s stream.
+
+        Schedules are pure functions of the trace order and the queue
+        geometry, and they are prefix-stable — a schedule built over a
+        longer prefix is valid for any shorter run — so one entry per
+        ``(stream, geometry)`` serves every simulation of that pair,
+        rebuilt only when a longer window is requested.
+        """
+        from repro.core.leading import build_trace_schedule
+
+        key = (
+            profile, seed, config.rob_size, config.lsq_size,
+            config.int_issue_queue_size, config.fp_issue_queue_size,
+        )
+        entry = self._schedules.get(key)
+        if entry is not None and entry[0] >= count:
+            self._record("schedule", hit=True)
+            return entry[1]
+        self._record("schedule", hit=False)
+        schedule = build_trace_schedule(
+            self.trace_arrays(profile, seed, count), config
+        )
+        self._schedules[key] = (count, schedule)
+        return schedule
+
     # -- branch predictors ---------------------------------------------
+    def branch_stream_view(self, profile: WorkloadProfile, seed: int):
+        """A cursor over ``(profile, seed)``'s memoized branch stream.
+
+        The first request pretrains a predictor (via
+        :meth:`pretrained_predictor`, so the master cache is shared) and
+        wraps it in a :class:`~repro.core.branch.BranchStream`; every
+        request returns a fresh zero-cost
+        :class:`~repro.core.branch.BranchStreamView`.  The view resolves
+        branches through the shared stream, so K same-stream simulations
+        replay the predictor once instead of cloning its tables K times.
+        """
+        from repro.core.branch import BranchStream
+
+        key = (profile, seed)
+        stream = self._branch_streams.get(key)
+        if stream is None:
+            self._record("branch", hit=False)
+            stream = BranchStream(self.pretrained_predictor(profile, seed))
+            self._branch_streams[key] = stream
+        else:
+            self._record("branch", hit=True)
+        return stream.view()
+
     def pretrained_predictor(self, profile: WorkloadProfile, seed: int):
         """A freshly cloned, pretrained predictor for ``(profile, seed)``.
 

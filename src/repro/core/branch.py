@@ -9,7 +9,7 @@ from __future__ import annotations
 from repro.common.config import BranchPredictorConfig
 from repro.common.stats import StatGroup
 
-__all__ = ["BranchPredictor"]
+__all__ = ["BranchPredictor", "BranchStream", "BranchStreamView"]
 
 _TAKEN_THRESHOLD = 2  # 2-bit counters: 0,1 predict not-taken; 2,3 taken
 
@@ -31,8 +31,11 @@ class BranchPredictor:
         self._chooser = [1] * cfg.bimodal_entries  # start slightly favouring bimodal
         self._history = 0
         self._history_mask = (1 << cfg.history_bits) - 1
-        # BTB: direct-mapped-per-way tag store, sets x ways.
-        self._btb: list[list[tuple[int, int]]] = [[] for _ in range(cfg.btb_sets)]
+        # BTB: tag store, sets x ways.  Stored sparsely (set index ->
+        # resident ways) — a trace touches a few hundred of the 16K sets,
+        # so the dict keeps :meth:`clone` proportional to the footprint
+        # instead of the geometry.
+        self._btb: dict[int, list[tuple[int, int]]] = {}
         self.stats = StatGroup(name)
         self._lookups = self.stats.counter("lookups")
         self._mispredicts = self.stats.counter("mispredicts")
@@ -60,10 +63,12 @@ class BranchPredictor:
         taken = pht_taken if use_pht else bimodal_taken
         target = None
         if taken:
-            for tag, tgt in self._btb[self._btb_set(pc)]:
-                if tag == pc:
-                    target = tgt
-                    break
+            ways = self._btb.get(self._btb_set(pc))
+            if ways:
+                for tag, tgt in ways:
+                    if tag == pc:
+                        target = tgt
+                        break
         return taken, target
 
     def update(self, pc: int, taken: bool, target: int) -> bool:
@@ -91,7 +96,10 @@ class BranchPredictor:
         self._history = ((self._history << 1) | int(taken)) & self._history_mask
 
         if taken:
-            ways = self._btb[self._btb_set(pc)]
+            index = self._btb_set(pc)
+            ways = self._btb.get(index)
+            if ways is None:
+                ways = self._btb[index] = []
             for i, (tag, _) in enumerate(ways):
                 if tag == pc:
                     del ways[i]
@@ -128,7 +136,7 @@ class BranchPredictor:
         other._pht = list(self._pht)
         other._chooser = list(self._chooser)
         other._history = self._history
-        other._btb = [list(ways) for ways in self._btb]
+        other._btb = {s: list(ways) for s, ways in self._btb.items()}
         other._lookups.value = self._lookups.value
         other._mispredicts.value = self._mispredicts.value
         return other
@@ -149,6 +157,114 @@ class BranchPredictor:
         """Fraction of branches mispredicted (0.0 if none resolved)."""
         total = self._lookups.value
         return self._mispredicts.value / total if total else 0.0
+
+
+class BranchStream:
+    """Memoized resolution of one predictor over one branch stream.
+
+    For a fixed ``(workload, seed)`` the branch sequence reaching the
+    predictor is identical in every simulation, so the misprediction
+    flags — and the lookup/mispredict counts at any prefix — are a pure
+    function of the prefix length.  The stream owns one real
+    :class:`BranchPredictor` (typically a pretrained clone), replays each
+    branch through it exactly once on first demand, and records the
+    flags; :meth:`view` hands out cheap cursors that consume the memoized
+    prefix instead of cloning and re-updating 16K-entry tables per
+    simulation.  Bit-identical to the clone-per-sim pattern by
+    construction: the flags come from the same :meth:`BranchPredictor.update`
+    calls a clone would make.
+    """
+
+    __slots__ = ("predictor", "flags", "cum_mispredicts",
+                 "base_lookups", "base_mispredicts")
+
+    def __init__(self, predictor: BranchPredictor):
+        self.predictor = predictor
+        self.flags: list[bool] = []
+        # cum_mispredicts[i] = mispredicts among the first i flags.
+        self.cum_mispredicts: list[int] = [0]
+        self.base_lookups = predictor.lookups
+        self.base_mispredicts = predictor.mispredicts
+
+    def view(self) -> "BranchStreamView":
+        """A fresh cursor positioned at the start of the stream."""
+        return BranchStreamView(self)
+
+    def extend(self, pcs, takens, targets) -> None:
+        """Resolve further branches (those past the memoized prefix)."""
+        new = self.predictor.update_window(pcs, takens, targets)
+        self.flags.extend(new)
+        cum = self.cum_mispredicts
+        total = cum[-1]
+        for flag in new:
+            total += flag
+            cum.append(total)
+
+
+class BranchStreamView:
+    """One simulation's read cursor over a :class:`BranchStream`.
+
+    Duck-types the slice of the :class:`BranchPredictor` interface the
+    scheduling paths use — ``config``, ``update_window`` / ``update``,
+    and the ``lookups`` / ``mispredicts`` counters — while sharing the
+    underlying memoized stream.  Both update forms require the caller to
+    present the stream's branches *in order* (which every trace-driven
+    scheduling path does by construction).  Deliberately does *not*
+    expose ``predict``: a caller needing free-form out-of-order probes
+    must take a real clone, since mutating the shared predictor out of
+    stream order would corrupt every other view.
+    """
+
+    __slots__ = ("_stream", "_cursor")
+
+    def __init__(self, stream: BranchStream):
+        self._stream = stream
+        self._cursor = 0
+
+    @property
+    def config(self) -> BranchPredictorConfig:
+        """The underlying predictor's configuration."""
+        return self._stream.predictor.config
+
+    def update_window(self, pcs, takens, targets) -> list[bool]:
+        """The next window's mispredict flags, memoized stream-wide.
+
+        Every view must present the stream's branches in order (windows
+        may be sliced differently between views); only the not-yet-seen
+        suffix reaches the real predictor.
+        """
+        stream = self._stream
+        cursor = self._cursor
+        count = len(pcs)
+        resolved = len(stream.flags)
+        if cursor + count > resolved:
+            skip = resolved - cursor  # head of this window already known
+            stream.extend(pcs[skip:], takens[skip:], targets[skip:])
+        self._cursor = cursor + count
+        return stream.flags[cursor:self._cursor]
+
+    def update(self, pc: int, taken: bool, target: int) -> bool:
+        """Resolve the stream's next branch (per-row object path)."""
+        return self.update_window((pc,), (taken,), (target,))[0]
+
+    @property
+    def lookups(self) -> int:
+        """Resolved branches, as the equivalent clone would count them."""
+        return self._stream.base_lookups + self._cursor
+
+    @property
+    def mispredicts(self) -> int:
+        """Mispredictions, as the equivalent clone would count them."""
+        return (
+            self._stream.base_mispredicts
+            + self._stream.cum_mispredicts[self._cursor]
+        )
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Fraction of branches mispredicted (0.0 if none resolved)."""
+        total = self.lookups
+        return self.mispredicts / total if total else 0.0
 
 
 def _saturate(counter: int, up: bool) -> int:

@@ -64,34 +64,85 @@ class MemoryHierarchy:
         ``kinds[i]`` selects :meth:`fetch_latency` (``FETCH``),
         :meth:`load_latency` (``LOAD``) or :meth:`store_commit` (``STORE``)
         for ``addresses[i]``; returns the per-event latency (0 for stores).
-        One loop with hoisted bound methods replaces three attribute-chain
-        lookups per event — state evolution is identical to issuing the
-        calls one at a time, which is what lets the columnar scheduler
-        pre-resolve a whole window's memory behaviour.
+        The L1 probe (LRU lookup-and-fill) is inlined over the caches'
+        set lists and the hit/miss counters are bulk-incremented once at
+        the end — state evolution and counter totals are identical to
+        issuing :meth:`SetAssociativeCache.access` per event, which is
+        what lets the columnar scheduler pre-resolve a whole window's
+        memory behaviour.  Only L1 misses (rare) pay a method call into
+        the NUCA L2.
         """
-        l1i_access = self.l1i.access
-        l1d_access = self.l1d.access
+        l1i = self.l1i
+        l1d = self.l1d
+        d_sets = l1d._sets
+        d_off = l1d._offset_bits
+        d_num = l1d._num_sets
+        d_ways = l1d.geometry.ways
+        i_sets = l1i._sets
+        i_off = l1i._offset_bits
+        i_num = l1i._num_sets
+        i_ways = l1i.geometry.ways
         l2_access = self.l2.access
         i_hit = self.core_config.l1_icache.hit_latency_cycles
         d_hit = self.core_config.l1_dcache.hit_latency_cycles
+        d_hits = d_misses = i_hits = i_misses = 0
         out: list[int] = []
         append = out.append
         for kind, address in zip(kinds, addresses):
             if kind == 1:
-                if l1d_access(address):
-                    append(d_hit)
-                else:
+                line = address >> d_off
+                ways = d_sets[line % d_num]
+                try:
+                    ways.remove(line)
+                except ValueError:
+                    d_misses += 1
+                    ways.append(line)
+                    if len(ways) > d_ways:
+                        del ways[0]
                     append(d_hit + l2_access(address).latency_cycles)
-            elif kind == 0:
-                if l1i_access(address):
-                    append(i_hit)
                 else:
+                    d_hits += 1
+                    ways.append(line)  # move to MRU
+                    append(d_hit)
+            elif kind == 0:
+                line = address >> i_off
+                ways = i_sets[line % i_num]
+                try:
+                    ways.remove(line)
+                except ValueError:
+                    i_misses += 1
+                    ways.append(line)
+                    if len(ways) > i_ways:
+                        del ways[0]
                     append(
                         i_hit + l2_access(address | (1 << 40)).latency_cycles
                     )
+                else:
+                    i_hits += 1
+                    ways.append(line)
+                    append(i_hit)
             else:
-                l1d_access(address)
+                line = address >> d_off
+                ways = d_sets[line % d_num]
+                try:
+                    ways.remove(line)
+                except ValueError:
+                    d_misses += 1
+                    ways.append(line)
+                    if len(ways) > d_ways:
+                        del ways[0]
+                else:
+                    d_hits += 1
+                    ways.append(line)
                 append(0)
+        if d_hits:
+            l1d._hits.increment(d_hits)
+        if d_misses:
+            l1d._misses.increment(d_misses)
+        if i_hits:
+            l1i._hits.increment(i_hits)
+        if i_misses:
+            l1i._misses.increment(i_misses)
         return out
 
     # ------------------------------------------------------------------

@@ -15,7 +15,7 @@ structures of Section 2.1 would (200-entry RVQ, 80-entry LVQ, 40-entry BOQ,
 from __future__ import annotations
 
 import math
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,7 +24,12 @@ from repro.common.config import CheckerCoreConfig, LeadingCoreConfig
 from repro.core.branch import BranchPredictor
 from repro.core.checker import InOrderCheckerTiming
 from repro.core.dfs import DfsController
-from repro.core.leading import LeadingCoreTiming, LeadingRunResult
+from repro.core.leading import (
+    LeadingCoreTiming,
+    LeadingRunResult,
+    TraceSchedule,
+    build_trace_schedule,
+)
 from repro.core.memory import MemoryHierarchy
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import (
@@ -131,15 +136,20 @@ class RmtSimulator:
         self.queue_stalls = {"rvq": 0, "lvq": 0, "stb": 0, "boq": 0}
 
     # ------------------------------------------------------------------
-    def run(self, trace, warmup: int = 0) -> RmtTimingResult:
+    def run(
+        self, trace, warmup: int = 0,
+        schedule: TraceSchedule | None = None,
+    ) -> RmtTimingResult:
         """Co-simulate the full trace and return the timing summary.
 
         The first ``warmup`` instructions flow through both cores but are
         excluded from the reported leading-core statistics.  Columnar
-        traces take the batch path.
+        traces take the batch path; ``schedule`` optionally supplies a
+        precomputed (memoized) :class:`~repro.core.leading.TraceSchedule`
+        for the windowed kernel.
         """
         if isinstance(trace, TraceArrays):
-            return self.run_arrays(trace, warmup)
+            return self.run_arrays(trace, warmup, schedule)
         self._trace = trace
         self._consume_row = self._consume_row_object
         for i, instr in enumerate(trace):
@@ -159,7 +169,10 @@ class RmtSimulator:
         self._consume_until(len(trace) - 1)
         return self._result(len(trace) - warmup)
 
-    def run_arrays(self, arrays: TraceArrays, warmup: int = 0) -> RmtTimingResult:
+    def run_arrays(
+        self, arrays: TraceArrays, warmup: int = 0,
+        schedule: TraceSchedule | None = None,
+    ) -> RmtTimingResult:
         """Columnar co-simulation — bit-identical to :meth:`run`.
 
         The leading core's memory/predictor behaviour is pre-resolved per
@@ -168,7 +181,9 @@ class RmtSimulator:
         checker consumes whole windows of precomputed integer columns at
         once (:meth:`_drain_to`), and the queue-gating recurrence is
         reduced to a table lookup by a vectorized pre-pass
-        (:meth:`_precompute_gates`).
+        (:meth:`_precompute_gates`).  A fresh simulator takes the
+        windowed issue/retire kernel (:meth:`_run_arrays_kernel`); the
+        per-row scalar loop below is retained as the oracle.
         """
         self._trace = arrays
         ops = arrays.op
@@ -181,8 +196,19 @@ class RmtSimulator:
         self._cw_src2 = arrays.src2
         self._cw_dst = arrays.dst
         self._consume_row = self._consume_row_columnar
-        needed_list, binding_list = self._precompute_gates(ops)
+        needed_arr, binding_arr = self._precompute_gates(ops)
 
+        if (
+            self.leading.kernel_eligible()
+            and not self._commit_times
+            and not self._consume_times
+        ):
+            return self._run_arrays_kernel(
+                arrays, warmup, needed_arr, binding_arr, schedule
+            )
+
+        needed_list = needed_arr.tolist()
+        binding_list = binding_arr.tolist()
         n = len(arrays)
         leading = self.leading
         advance = leading._advance
@@ -214,7 +240,152 @@ class RmtSimulator:
         self._drain_to(n - 1)
         return self._result(n - warmup)
 
-    def _precompute_gates(self, ops: np.ndarray) -> tuple[list, list]:
+    def _run_arrays_kernel(
+        self,
+        arrays: TraceArrays,
+        warmup: int,
+        needed_arr: np.ndarray,
+        binding_arr: np.ndarray,
+        schedule: TraceSchedule | None,
+    ) -> RmtTimingResult:
+        """Windowed-kernel co-simulation, chunked at checker drains.
+
+        A thin composition of the batch-stepping lifecycle
+        (:meth:`begin_windows` / :meth:`advance_window` /
+        :meth:`end_windows`) so a solo run and a lockstep-batched run
+        execute the identical code path window for window.
+        """
+        n = len(arrays)
+        self._begin_windows(arrays, needed_arr, binding_arr, schedule)
+        w = min(warmup, n)
+        for start, end in ((0, w), (w, n)):
+            if start == end:
+                continue
+            if start == warmup and warmup:
+                self.leading.start_measurement()
+            self.advance_window(
+                self.leading.prepare_window(arrays, start, end), start
+            )
+        return self.end_windows(n - warmup)
+
+    # -- lockstep batch stepping ---------------------------------------
+    def begin_windows(
+        self, arrays: TraceArrays, schedule: TraceSchedule | None = None
+    ) -> None:
+        """Enter windowed-kernel mode for external (lockstep) stepping.
+
+        Requires a fresh simulator over a columnar trace — the same
+        precondition as the kernel fast path in :meth:`run_arrays`.  The
+        caller then drives :meth:`advance_window` once per trace window
+        (preparing each window itself, e.g. via shared
+        :class:`~repro.core.leading.WindowStatics`) and finishes with
+        :meth:`end_windows`.
+        """
+        if not (
+            self.leading.kernel_eligible()
+            and not self._commit_times
+            and not self._consume_times
+        ):
+            raise RuntimeError(
+                "windowed stepping requires a fresh simulator"
+            )
+        needed_arr, binding_arr = self._precompute_gates(arrays.op)
+        self._begin_windows(arrays, needed_arr, binding_arr, schedule)
+
+    def _begin_windows(
+        self,
+        arrays: TraceArrays,
+        needed_arr: np.ndarray,
+        binding_arr: np.ndarray,
+        schedule: TraceSchedule | None,
+    ) -> None:
+        self._trace = arrays
+        ops = arrays.op
+        self._cw_pool = _POOL_ARR[ops]
+        self._cw_latency = _LATENCY_ARR[ops]
+        self._cw_src1 = arrays.src1
+        self._cw_src2 = arrays.src2
+        self._cw_dst = arrays.dst
+        self._consume_row = self._consume_row_columnar
+        if schedule is None:
+            schedule = build_trace_schedule(arrays, self.leading_config)
+        self.leading.begin_kernel(schedule)
+        # The leading kernel's absolute commit list is shared as this
+        # harness's commit stream — no per-row copying in either
+        # direction.
+        self._commit_times = self.leading._kernel.commits
+        self._kw_needed_arr = needed_arr
+        self._kw_needed_list = needed_arr.tolist()
+        self._kw_needed_max = np.maximum.accumulate(needed_arr)
+        self._kw_binding_arr = binding_arr
+
+    def advance_window(self, prepared, start: int) -> None:
+        """Co-simulate one prepared window, chunked at checker drains.
+
+        The scalar loop drains the checker exactly when a row's gating
+        entry is beyond the consume stream (``needed >= len(consume)``),
+        so those rows — found by a searchsorted over the running max of
+        ``needed`` — are the only sound chunk boundaries: between two of
+        them every gate is a plain gather over already-final consume
+        times, and draining at the boundary sees the exact same
+        commit/consume prefixes as the scalar schedule (DFS occupancy
+        sampling included).
+        """
+        leading = self.leading
+        ks = leading._kernel
+        consume_times = self._consume_times
+        queue_stalls = self.queue_stalls
+        needed_arr = self._kw_needed_arr
+        needed_list = self._kw_needed_list
+        needed_max = self._kw_needed_max
+        binding_arr = self._kw_binding_arr
+        ceil = math.ceil
+        end = start + len(prepared)
+        i0 = start
+        while i0 < end:
+            if needed_list[i0] >= len(consume_times):
+                self._drain_to(needed_list[i0])
+            avail = len(consume_times)
+            i1 = min(
+                int(np.searchsorted(needed_max, avail, side="left")), end
+            )
+            gates = [
+                0 if k < 0 else ceil(consume_times[k])
+                for k in needed_list[i0:i1]
+            ]
+            leading.advance_window(
+                prepared.window_slice(i0 - start, i1 - start), i0, gates
+            )
+            # Stall attribution, identical to the scalar per-row
+            # check: gate > the previous row's commit.
+            chunk_needed = needed_arr[i0:i1]
+            gated = chunk_needed >= 0
+            if gated.any():
+                prev = np.empty(i1 - i0, dtype=np.int64)
+                prev[0] = ks.commits[i0 - 1] if i0 else 0
+                prev[1:] = ks.commits[i0:i1 - 1]
+                stalled = gated & (np.asarray(gates, dtype=np.int64) > prev)
+                count = int(np.count_nonzero(stalled))
+                if count:
+                    self.backpressure_commits += count
+                    for b, c in enumerate(
+                        np.bincount(
+                            binding_arr[i0:i1][stalled], minlength=4
+                        ).tolist()
+                    ):
+                        if c:
+                            queue_stalls[_BINDINGS[b]] += c
+            i0 = i1
+
+    def end_windows(self, instructions: int) -> RmtTimingResult:
+        """Finish a windowed run: drain the checker, leave kernel mode."""
+        self._drain_to(len(self._trace) - 1)
+        self.leading.end_kernel()
+        return self._result(instructions)
+
+    def _precompute_gates(
+        self, ops: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorize the queue-gating recurrence's *candidate* indices.
 
         For each row ``i`` the gating entry — the earlier row whose
@@ -223,8 +394,8 @@ class RmtSimulator:
         same-class row), independent of any timing.  Only the consume
         *times* are runtime-dependent, so the per-row work in
         :meth:`run_arrays` reduces to a list lookup.  Returns
-        ``(needed, binding)`` lists; ``needed[i] < 0`` means row ``i`` is
-        ungated and ``binding[i]`` indexes ``_BINDINGS`` for stall
+        ``(needed, binding)`` arrays; ``needed[i] < 0`` means row ``i``
+        is ungated and ``binding[i]`` indexes ``_BINDINGS`` for stall
         attribution.
         """
         n = len(ops)
@@ -243,7 +414,7 @@ class RmtSimulator:
                 win = cand > needed[sel]
                 needed[sel] = np.where(win, cand, needed[sel])
                 binding[sel[win]] = bcode
-        return needed.tolist(), binding.tolist()
+        return needed, binding
 
     def _drain_to(self, index: int) -> None:
         """Consume every RVQ entry up to ``index``, extending eagerly.
@@ -350,16 +521,14 @@ class RmtSimulator:
         """Apply DFS interval boundaries that have passed."""
         while self._next_boundary <= up_to_time:
             b = self._next_boundary
-            while (
-                self._boundary_commit_ptr < len(self._commit_times)
-                and self._commit_times[self._boundary_commit_ptr] <= b
-            ):
-                self._boundary_commit_ptr += 1
-            while (
-                self._boundary_consume_ptr < len(self._consume_times)
-                and self._consume_times[self._boundary_consume_ptr] <= b
-            ):
-                self._boundary_consume_ptr += 1
+            # Both streams are monotone non-decreasing, so advancing each
+            # pointer past every entry <= b is a bisect from the pointer.
+            self._boundary_commit_ptr = bisect_right(
+                self._commit_times, b, self._boundary_commit_ptr
+            )
+            self._boundary_consume_ptr = bisect_right(
+                self._consume_times, b, self._boundary_consume_ptr
+            )
             occupancy = self._boundary_commit_ptr - self._boundary_consume_ptr
             fraction = max(0.0, min(1.0, occupancy / self._rvq_capacity))
             self._occupancy_samples.append(fraction)

@@ -22,6 +22,7 @@ from repro.experiments.runner import (
     SimTask,
     SimulationWindow,
     prime_sim_tasks,
+    run_batch,
     run_sim_task,
 )
 from repro.workloads.profiles import WorkloadProfile, spec2k_suite
@@ -61,6 +62,7 @@ def fig6_performance(
     models: tuple[ChipModel, ...] = _MODELS,
     jobs: int | None = None,
     chunksize: int | None = None,
+    simbatch: bool = False,
 ) -> list[Fig6Row]:
     """IPC of every benchmark on every chip model (Figure 6).
 
@@ -69,6 +71,13 @@ def fig6_performance(
     worker.  A larger multiple of ``len(models)`` groups several
     benchmarks per chunk, letting ``prime_sim_tasks`` generate their
     traces in one lockstep batch — results are identical either way.
+
+    ``simbatch=True`` runs each benchmark's chip models as one
+    :class:`~repro.experiments.runner.SimBatch` — all K simulations
+    stepped in lockstep per trace window, sharing each window's
+    prepare statics.  One work item per benchmark goes to the engine
+    (so it parallelizes across benchmarks at any ``jobs``) and results
+    are bit-identical to the per-task path.
     """
     benchmarks = benchmarks if benchmarks is not None else spec2k_suite()
     tasks = [
@@ -83,11 +92,20 @@ def fig6_performance(
         for profile in benchmarks
         for chip in models
     ]
-    results = engine.parallel_map(
-        run_sim_task, tasks, jobs=jobs,
-        chunksize=chunksize if chunksize is not None else len(models),
-        label="fig6_performance", prepare_chunk=prime_sim_tasks,
-    )
+    if simbatch:
+        m = len(models)
+        groups = [tasks[b * m:(b + 1) * m] for b in range(len(benchmarks))]
+        grouped = engine.parallel_map(
+            run_batch, groups, jobs=jobs, chunksize=1,
+            label="fig6_performance",
+        )
+        results = [result for group in grouped for result in group]
+    else:
+        results = engine.parallel_map(
+            run_sim_task, tasks, jobs=jobs,
+            chunksize=chunksize if chunksize is not None else len(models),
+            label="fig6_performance", prepare_chunk=prime_sim_tasks,
+        )
     rows = []
     for b, profile in enumerate(benchmarks):
         ipc: dict[str, float] = {}

@@ -34,6 +34,7 @@ __all__ = [
     "simulate_leading",
     "simulate_rmt",
     "SimTask",
+    "SimBatch",
     "run_sim_task",
     "run_sim_task_with_metrics",
     "prime_sim_tasks",
@@ -87,17 +88,22 @@ def _prepare(
         profile = get_profile(profile)
     leading = leading or LeadingCoreConfig()
     # The hierarchy is stateful (tags mutate during the run), so it is
-    # rebuilt and re-preloaded for every simulation; the trace and the
-    # pretrained predictor are memoized (the predictor as a clone).
+    # rebuilt and re-preloaded for every simulation; the trace, the
+    # pretrained predictor (as a shared branch-stream view) and the
+    # kernel's trace schedule are memoized.
     with span("sim.prepare"):
         memory = build_memory(chip, leading, policy)
         memory.preload_profile(profile)
         cache = memo.get_cache()
         with span("sim.predictor"):
-            predictor = cache.pretrained_predictor(profile, seed)
+            predictor = cache.branch_stream_view(profile, seed)
         with span("sim.trace"):
             trace = cache.trace_arrays(profile, seed, window.total)
-    return profile, leading, memory, predictor, trace
+        with span("sim.schedule"):
+            schedule = cache.trace_schedule(
+                profile, seed, window.total, leading
+            )
+    return profile, leading, memory, predictor, trace, schedule
 
 
 def _publish_sim_metrics(result: LeadingRunResult, memory: MemoryHierarchy) -> None:
@@ -126,12 +132,12 @@ def simulate_leading(
     leading: LeadingCoreConfig | None = None,
 ) -> LeadingRunResult:
     """Run one benchmark's leading core alone (no checker) on ``chip``."""
-    profile, leading, memory, predictor, trace = _prepare(
+    profile, leading, memory, predictor, trace, schedule = _prepare(
         profile, chip, window, seed, policy, leading
     )
     core = LeadingCoreTiming(leading, memory, predictor)
     with span("sim.leading"):
-        result = core.run(trace, warmup=window.warmup)
+        result = core.run(trace, warmup=window.warmup, schedule=schedule)
     _publish_sim_metrics(result, memory)
     return result
 
@@ -151,7 +157,7 @@ def simulate_rmt(
     The inter-core transfer latency follows the chip model: ~1 cycle over
     3D inter-die vias, ~4 cycles over 2D global wires (Section 3).
     """
-    profile, leading, memory, predictor, trace = _prepare(
+    profile, leading, memory, predictor, trace, schedule = _prepare(
         profile, chip, window, seed, policy, leading
     )
     checker = checker or CheckerCoreConfig()
@@ -164,7 +170,7 @@ def simulate_rmt(
         checker_peak_ratio=checker_peak_ratio,
     )
     with span("sim.rmt"):
-        result = simulator.run(trace, warmup=window.warmup)
+        result = simulator.run(trace, warmup=window.warmup, schedule=schedule)
     _publish_sim_metrics(result.leading, memory)
     return result
 
@@ -255,19 +261,145 @@ def prime_sim_tasks(tasks) -> None:
     )
 
 
-def run_batch(tasks) -> list[LeadingRunResult | RmtTimingResult]:
+class SimBatch:
+    """K same-stream simulations stepped in lockstep, window by window.
+
+    All member tasks must share ``(profile, seed, window)`` — the same
+    trace stream at the same window boundaries.  The batch computes each
+    window's simulation-independent prepare products once
+    (:func:`~repro.core.leading.prepare_window_statics`) and shares them
+    across every member; each member then applies only its own state
+    machines (memory hierarchy, predictor view, scheduling kernel) via
+    ``prepare_from_statics``.  Results and published metrics are
+    bit-identical to running each task solo — the shared statics are
+    exactly the values every solo ``prepare_window`` call recomputes.
+    """
+
+    def __init__(self, tasks: list[SimTask]):
+        if not tasks:
+            raise ValueError("SimBatch requires at least one task")
+        key = (tasks[0].profile, tasks[0].seed, tasks[0].window)
+        for task in tasks:
+            if (task.profile, task.seed, task.window) != key:
+                raise ValueError(
+                    "SimBatch tasks must share (profile, seed, window)"
+                )
+        self.tasks = tasks
+        self.profile, self.seed, self.window = key
+
+    def run(self) -> list[LeadingRunResult | RmtTimingResult]:
+        """Run every member and return results in task order."""
+        from repro.core.leading import prepare_window_statics
+        from repro.core.rmt import RmtSimulator
+
+        window = self.window
+        cache = memo.get_cache()
+        with span("sim.trace"):
+            arrays = cache.trace_arrays(self.profile, self.seed, window.total)
+
+        # Per-member mutable state: hierarchy, predictor view, simulator.
+        sims = []
+        for task in self.tasks:
+            leading_cfg = task.leading or LeadingCoreConfig()
+            with span("sim.prepare"):
+                memory = build_memory(task.chip, leading_cfg, task.policy)
+                memory.preload_profile(self.profile)
+                predictor = cache.branch_stream_view(self.profile, self.seed)
+                schedule = cache.trace_schedule(
+                    self.profile, self.seed, window.total, leading_cfg
+                )
+            if task.kind == "leading":
+                core = LeadingCoreTiming(leading_cfg, memory, predictor)
+                core.begin_kernel(schedule)
+                sims.append(("leading", core, memory))
+            elif task.kind == "rmt":
+                simulator = RmtSimulator(
+                    leading_config=leading_cfg,
+                    checker_config=task.checker or CheckerCoreConfig(),
+                    memory=memory,
+                    predictor=predictor,
+                    transfer_latency_cycles=1 if task.chip.is_3d else 4,
+                    checker_peak_ratio=task.checker_peak_ratio,
+                )
+                simulator.begin_windows(arrays, schedule)
+                sims.append(("rmt", simulator, memory))
+            else:
+                raise ValueError(f"unknown simulation kind {task.kind!r}")
+
+        # Lockstep window stepping: statics once, K applications.
+        n = window.total
+        warmup = min(window.warmup, n)
+        prev_line = -1  # every member is a freshly constructed core
+        with span("sim.batch"):
+            for start, end in ((0, warmup), (warmup, n)):
+                if start == end:
+                    continue
+                statics = prepare_window_statics(arrays, start, end, prev_line)
+                prev_line = statics.last_line
+                for kind, sim, _memory in sims:
+                    core = sim if kind == "leading" else sim.leading
+                    if start == window.warmup and window.warmup:
+                        core.start_measurement()
+                    prepared = core.prepare_from_statics(statics)
+                    if kind == "leading":
+                        core.advance_window(prepared, start)
+                    else:
+                        sim.advance_window(prepared, start)
+
+        results: list[LeadingRunResult | RmtTimingResult] = []
+        measured = n - window.warmup
+        for kind, sim, memory in sims:
+            if kind == "leading":
+                sim.end_kernel()
+                result = sim.result(measured)
+                _publish_sim_metrics(result, memory)
+            else:
+                result = sim.end_windows(measured)
+                _publish_sim_metrics(result.leading, memory)
+            results.append(result)
+        return results
+
+
+def _batch_groups(tasks: list[SimTask]):
+    """Split a task list into maximal consecutive same-stream runs."""
+    groups: list[list[SimTask]] = []
+    key = None
+    for task in tasks:
+        task_key = (task.profile, task.seed, task.window)
+        if task_key != key:
+            groups.append([])
+            key = task_key
+        groups[-1].append(task)
+    return groups
+
+
+def run_batch(
+    tasks, lockstep: bool = True
+) -> list[LeadingRunResult | RmtTimingResult]:
     """Run several :class:`SimTask` with batched trace generation.
 
     Primes every distinct trace stream in one lockstep pass
     (:func:`prime_sim_tasks`), then runs the tasks in order in this
-    process.  Results are identical to ``[run_sim_task(t) for t in
-    tasks]`` — batching only changes how the shared immutable artifacts
-    are produced.  Sweep drivers get the same effect across processes by
-    passing ``prepare_chunk=prime_sim_tasks`` to the engine.
+    process — consecutive tasks over the same ``(profile, seed,
+    window)`` stream as one :class:`SimBatch` (sharing each window's
+    prepare statics), the rest solo.  Results are identical to
+    ``[run_sim_task(t) for t in tasks]`` — batching only changes how
+    shared immutable artifacts are produced.  ``lockstep=False``
+    disables the grouping (solo oracle path for every task).  Sweep
+    drivers get the trace-priming effect across processes by passing
+    ``prepare_chunk=prime_sim_tasks`` to the engine.
     """
     tasks = list(tasks)
     prime_sim_tasks(tasks)
-    return [run_sim_task(task) for task in tasks]
+    if not lockstep or not all(isinstance(t, SimTask) for t in tasks):
+        return [run_sim_task(task) for task in tasks]
+    results: list[LeadingRunResult | RmtTimingResult] = []
+    for group in _batch_groups(tasks):
+        if len(group) == 1:
+            results.append(run_sim_task(group[0]))
+        else:
+            results.extend(SimBatch(group).run())
+    return results
 
 
 def run_sim_task_with_metrics(

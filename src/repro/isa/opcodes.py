@@ -70,24 +70,27 @@ EXECUTION_LATENCY: dict[OpClass, int] = {
 # Canonical integer op codes.  The columnar trace pipeline
 # (:mod:`repro.isa.soa`) stores op classes as small ints so NumPy masks
 # and Python hot loops avoid enum hashing; the tables below are the one
-# place the numbering is defined.
-OP_IALU, OP_IMUL, OP_FALU, OP_FMUL, OP_LOAD, OP_STORE, OP_BRANCH = range(7)
-
-OP_BY_CODE: tuple[OpClass, ...] = (
-    OpClass.IALU,
-    OpClass.IMUL,
-    OpClass.FALU,
-    OpClass.FMUL,
-    OpClass.LOAD,
-    OpClass.STORE,
-    OpClass.BRANCH,
-)
+# place the numbering is defined.  Every table is derived from the
+# ``OpClass`` enum itself (definition order is the numbering) so adding
+# an op class widens them all — nothing downstream may assume 7.
+OP_BY_CODE: tuple[OpClass, ...] = tuple(OpClass)
 OP_CODE: dict[OpClass, int] = {op: code for code, op in enumerate(OP_BY_CODE)}
+
+OP_IALU = OP_CODE[OpClass.IALU]
+OP_IMUL = OP_CODE[OpClass.IMUL]
+OP_FALU = OP_CODE[OpClass.FALU]
+OP_FMUL = OP_CODE[OpClass.FMUL]
+OP_LOAD = OP_CODE[OpClass.LOAD]
+OP_STORE = OP_CODE[OpClass.STORE]
+OP_BRANCH = OP_CODE[OpClass.BRANCH]
 
 # Functional-unit pool per op code: loads/stores/branches contend for the
 # integer ALU/AGU slots (same collapse as FunctionalUnitPool._pool_for).
 # Pool codes index [IALU, IMUL, FALU, FMUL] capacity vectors.
-POOL_BY_CODE: tuple[int, ...] = (0, 1, 2, 3, 0, 0, 0)
+_POOL_INDEX = {OpClass.IALU: 0, OpClass.IMUL: 1, OpClass.FALU: 2, OpClass.FMUL: 3}
+POOL_BY_CODE: tuple[int, ...] = tuple(
+    _POOL_INDEX.get(op, _POOL_INDEX[OpClass.IALU]) for op in OP_BY_CODE
+)
 
 EXECUTION_LATENCY_BY_CODE: tuple[int, ...] = tuple(
     EXECUTION_LATENCY[op] for op in OP_BY_CODE

@@ -110,11 +110,11 @@ class TestSimulationReuse:
         from repro.experiments.runner import _prepare
         from repro.common.config import NucaPolicy
 
-        _p, _l, mem_a, _pred_a, _t = _prepare(
+        _p, _l, mem_a, _pred_a, _t, _s = _prepare(
             "gzip", ChipModel.TWO_D_A, TINY, 42,
             NucaPolicy.DISTRIBUTED_SETS, None,
         )
-        _p, _l, mem_b, _pred_b, _t = _prepare(
+        _p, _l, mem_b, _pred_b, _t, _s = _prepare(
             "gzip", ChipModel.TWO_D_A, TINY, 42,
             NucaPolicy.DISTRIBUTED_SETS, None,
         )
